@@ -1,0 +1,133 @@
+// Command qeval evaluates conjunctive queries over fact files using the
+// engines of the library, choosing the algorithm by the paper's
+// classification (acyclicity, free-connexity, star size, β-acyclicity).
+//
+// Usage:
+//
+//	qeval -data facts.txt -query 'Q(x,y) :- friend(x,z), friend(z,y).' -task enumerate -limit 10
+//	qeval -query '...' -task analyze
+//
+// Tasks: analyze (default), decide, count, enumerate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/database"
+	"repro/internal/delay"
+	"repro/internal/logic"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "fact file (one pred(args...) per line); empty for an empty database")
+	queryStr := flag.String("query", "", "conjunctive query in rule syntax")
+	task := flag.String("task", "analyze", "analyze | decide | count | enumerate")
+	limit := flag.Int("limit", 0, "stop enumeration after N answers (0 = all)")
+	showDelay := flag.Bool("delay", false, "report measured enumeration delay statistics")
+	flag.Parse()
+
+	if *queryStr == "" {
+		fmt.Fprintln(os.Stderr, "qeval: -query is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	// A ";" marks a union of conjunctive queries.
+	var q *logic.CQ
+	var u *logic.UCQ
+	if strings.Contains(*queryStr, ";") {
+		var err error
+		u, err = logic.ParseUCQ(*queryStr)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		q, err = logic.ParseCQ(*queryStr)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	dict := database.NewDictionary()
+	db := database.NewDatabase()
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+		db, err = core.LoadFacts(f, dict)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	switch *task {
+	case "analyze":
+		if u != nil {
+			for i, d := range u.Disjuncts {
+				fmt.Printf("--- disjunct %d ---\n%s", i+1, core.Analyze(d))
+			}
+		} else {
+			fmt.Print(core.Analyze(q))
+		}
+	case "decide":
+		if u != nil {
+			fatal(fmt.Errorf("decide is per-query; count or enumerate the union instead"))
+		}
+		ok, err := core.Decide(db, q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(ok)
+	case "count":
+		var n fmt.Stringer
+		var err error
+		if u != nil {
+			n, err = core.CountUCQ(db, u)
+		} else {
+			n, err = core.Count(db, q)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(n)
+	case "enumerate":
+		c := &delay.Counter{}
+		st, answers := delay.Measure(c, func() delay.Enumerator {
+			var e delay.Enumerator
+			var err error
+			if u != nil {
+				e, err = core.EnumerateUCQ(db, u, c)
+			} else {
+				e, err = core.Enumerate(db, q, c)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			return e
+		})
+		for i, t := range answers {
+			if *limit > 0 && i >= *limit {
+				fmt.Printf("... (%d more)\n", len(answers)-*limit)
+				break
+			}
+			fmt.Println(core.FormatTuple(t, dict))
+		}
+		if *showDelay {
+			fmt.Printf("answers=%d preprocess=%v maxDelay=%v maxDelaySteps=%d\n",
+				st.Outputs, st.PreprocessTime, st.MaxDelayTime, st.MaxDelaySteps)
+		}
+	default:
+		fatal(fmt.Errorf("unknown task %q", *task))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qeval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of Arnaud Durand,
+// "Fine-Grained Complexity Analysis of Queries: From Decision to Counting
+// and Enumeration", PODS 2020.
+//
+// The implementation lives under internal/: see internal/core for the
+// public facade (query classification along the paper's dichotomies and
+// task dispatch), and DESIGN.md for the full system inventory and the
+// per-experiment index. The benchmarks in bench_test.go regenerate the
+// measured complexity shapes recorded in EXPERIMENTS.md, one per paper
+// artifact; cmd/qbench prints the same results as tables.
+package repro

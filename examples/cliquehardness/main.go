@@ -1,0 +1,58 @@
+// The ACQ< lower bound of Theorem 4.15 run end to end: order comparisons
+// let an *acyclic* conjunctive query express k-clique, so evaluating ACQ<
+// is W[1]-complete. We build the reduction database for random graphs and
+// check the query answer against brute-force clique search, then show the
+// growth of the reduction as k increases.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/ineq"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	n := 9
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(100) < 45 {
+				adj[i][j] = true
+				adj[j][i] = true
+			}
+		}
+	}
+
+	fmt.Println("k  query-vars  |P|   |R|   viaACQ<  brute  time")
+	for k := 2; k <= 4; k++ {
+		db, q := ineq.CliqueReduction(adj, k)
+		start := time.Now()
+		got, err := ineq.DecideBacktrack(db, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		want := ineq.HasCliqueBrute(adj, k)
+		status := ""
+		if got != want {
+			status = "  MISMATCH"
+		}
+		fmt.Printf("%-2d %-11d %-5d %-5d %-8v %-6v %v%s\n",
+			k, 2*k*k, db.Relation("P").Len(), db.Relation("R").Len(), got, want,
+			elapsed.Round(time.Microsecond), status)
+		if !q.IsAcyclic() {
+			log.Fatal("the reduction query must be acyclic")
+		}
+	}
+	fmt.Println("\nThe query is acyclic — without the comparisons it would be")
+	fmt.Println("solvable in linear time (Theorem 4.2); the sandwich constraints")
+	fmt.Println("x_ij < x_ji < y_ij encode vertex equality across the k chains,")
+	fmt.Println("so ACQ< evaluation is W[1]-complete (Theorem 4.15).")
+}

@@ -1,0 +1,43 @@
+// Perfect matchings via acyclic counting (Equation 2 of the paper): the
+// number of perfect matchings of a bipartite graph equals |φ(G)| − |ψ(G)|
+// where φ is quantifier-free acyclic (polynomial counting, Theorem 4.21)
+// and ψ adds one existential quantifier — with quantified star size n
+// (Example 4.27), which is exactly why ♯ACQ is ♯P-hard (Theorem 4.22).
+// The run shows both the correctness (against Ryser's permanent) and the
+// blow-up of the star-size algorithm as n grows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/counting"
+	"repro/internal/graphs"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	fmt.Println("n  matchings(ACQ)  permanent  starSize(ψ)  time")
+	for n := 2; n <= 7; n++ {
+		adj := graphs.RandomBipartite(rng, n, 0.6)
+		start := time.Now()
+		viaACQ, err := counting.PerfectMatchingsViaACQ(adj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		perm := counting.Permanent(adj)
+		_, _, psi := counting.MatchingQueries(adj)
+		status := "ok"
+		if viaACQ.Cmp(perm) != 0 {
+			status = "MISMATCH"
+		}
+		fmt.Printf("%-2d %-15s %-10s %-12d %-10v %s\n",
+			n, viaACQ, perm, psi.QuantifiedStarSize(), elapsed.Round(time.Microsecond), status)
+	}
+	fmt.Println("\nThe ψ query's quantified star size equals n, so the counting")
+	fmt.Println("time grows like ‖D‖^n (Theorem 4.28) — the example the paper")
+	fmt.Println("uses to show one quantifier already makes counting ♯P-hard.")
+}

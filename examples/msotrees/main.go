@@ -1,0 +1,74 @@
+// MSO on trees (Courcelle's theorem): model checking, counting, and
+// enumeration of MSO queries over a labelled binary tree, all through the
+// compiled tree automaton. The query language includes set quantifiers, so
+// one can express genuinely second-order properties; the enumeration shows
+// the output-sensitive delay of Theorem 3.12.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/delay"
+	"repro/internal/logic"
+	"repro/internal/mso"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	tree := mso.RandomTree(rng, 400, []string{"a", "b"})
+	if err := tree.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Model checking (linear time in the tree, Theorem 3.11).
+	sentences := []string{
+		"forall x. (a(x) or b(x))",
+		"exists x. (Leaf(x) and a(x))",
+		"forall x. (Root(x) -> exists y. Child(x,y))",
+		// A second-order property: the a-labelled nodes can be split into
+		// a set closed under Child within the a-nodes... here: there is a
+		// set containing the root and closed under Left-children.
+		"exists set X. ((forall r. (Root(r) -> r in X)) and forall x. forall y. (x in X and Left(x,y) -> y in X))",
+	}
+	fmt.Println("--- model checking ---")
+	for _, src := range sentences {
+		ok, err := mso.ModelCheck(tree, logic.MustParseFormula(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-110s %v\n", src, ok)
+	}
+
+	// Counting solutions (DP over the deterministic automaton).
+	fmt.Println("\n--- counting ---")
+	openQueries := []string{
+		"a(x) and exists y. Child(x,y)",
+		"forall y. (y in X -> a(y))",
+	}
+	for _, src := range openQueries {
+		n, err := mso.Count(tree, logic.MustParseFormula(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-50s %s solutions\n", src, n)
+	}
+
+	// Enumeration with output-linear delay.
+	fmt.Println("\n--- enumeration (first 3 solutions of a set query) ---")
+	c := &delay.Counter{}
+	e, err := mso.Enumerate(tree, logic.MustParseFormula(
+		"(exists z. z in X) and forall y. (y in X -> (a(y) and Leaf(y)))"), c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a, ok := e.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("X = %v\n", a.Sets["X"])
+	}
+	fmt.Printf("steps so far: %d (delay scales with output size, Theorem 3.12)\n", c.Steps())
+}

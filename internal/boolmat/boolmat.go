@@ -1,0 +1,240 @@
+// Package boolmat implements Boolean matrix multiplication and the
+// reductions of Section 4.1.2: the query Π(x,y) = ∃z A(x,z) ∧ B(z,y) of
+// Example 4.5 is Boolean matrix multiplication, so constant-delay
+// enumeration of any non-free-connex self-join-free ACQ would yield an
+// O(n²) matrix-multiplication algorithm (the Mat-Mul hypothesis behind
+// Theorem 4.8). The package provides the naive and bit-packed baselines,
+// multiplication through query enumeration, and the Example 4.7 reduction
+// database.
+package boolmat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/database"
+	"repro/internal/delay"
+	"repro/internal/ineq"
+	"repro/internal/logic"
+)
+
+// Matrix is a square Boolean matrix with bit-packed rows.
+type Matrix struct {
+	N    int
+	rows [][]uint64
+}
+
+// NewMatrix returns the n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	words := (n + 63) / 64
+	m := &Matrix{N: n, rows: make([][]uint64, n)}
+	for i := range m.rows {
+		m.rows[i] = make([]uint64, words)
+	}
+	return m
+}
+
+// Set sets entry (i,j) to v.
+func (m *Matrix) Set(i, j int, v bool) {
+	if v {
+		m.rows[i][j/64] |= 1 << (j % 64)
+	} else {
+		m.rows[i][j/64] &^= 1 << (j % 64)
+	}
+}
+
+// Get returns entry (i,j).
+func (m *Matrix) Get(i, j int) bool {
+	return m.rows[i][j/64]>>(j%64)&1 == 1
+}
+
+// Equal reports entry-wise equality.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i := range m.rows {
+		for w := range m.rows[i] {
+			if m.rows[i][w] != o.rows[i][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Ones returns the number of set entries.
+func (m *Matrix) Ones() int {
+	c := 0
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if m.Get(i, j) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// Random fills a matrix with density p.
+func Random(rng *rand.Rand, n int, p float64) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// MultiplyNaive computes the Boolean product with the O(n³) schoolbook
+// loop.
+func MultiplyNaive(a, b *Matrix) *Matrix {
+	n := a.N
+	c := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if a.Get(i, k) && b.Get(k, j) {
+					c.Set(i, j, true)
+					break
+				}
+			}
+		}
+	}
+	return c
+}
+
+// MultiplyBitset computes the product with 64-way word parallelism:
+// C.row(i) = ⋁_{k : A[i,k]} B.row(k) — the strongest practical baseline on
+// commodity hardware (the DESIGN.md substitution for fast matrix
+// multiplication).
+func MultiplyBitset(a, b *Matrix) *Matrix {
+	n := a.N
+	c := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		ci := c.rows[i]
+		for k := 0; k < n; k++ {
+			if !a.Get(i, k) {
+				continue
+			}
+			bk := b.rows[k]
+			for w := range ci {
+				ci[w] |= bk[w]
+			}
+		}
+	}
+	return c
+}
+
+// PiQuery is Π(x,y) = ∃z A(x,z) ∧ B(z,y) (Example 4.5) — acyclic but not
+// free-connex.
+func PiQuery() *logic.CQ {
+	return logic.MustParseCQ("Pi(x,y) :- A(x,z), B(z,y).")
+}
+
+// MatricesDB builds the database D_BM of Section 4.1.2: RA and RB hold the
+// positions of the 1-entries (1-based domain values).
+func MatricesDB(a, b *Matrix) *database.Database {
+	db := database.NewDatabase()
+	ra := database.NewRelation("A", 2)
+	rb := database.NewRelation("B", 2)
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.Get(i, j) {
+				ra.InsertValues(database.Value(i+1), database.Value(j+1))
+			}
+			if b.Get(i, j) {
+				rb.InsertValues(database.Value(i+1), database.Value(j+1))
+			}
+		}
+	}
+	db.AddRelation(ra)
+	db.AddRelation(rb)
+	return db
+}
+
+// MultiplyViaQuery computes A×B by enumerating Π(D_BM) — the reduction
+// direction of Theorem 4.8: a Constant-Delay_lin enumerator for Π would
+// make this O(n²+out).
+func MultiplyViaQuery(a, b *Matrix, c *delay.Counter) (*Matrix, error) {
+	db := MatricesDB(a, b)
+	e, err := cq.EnumerateLinearDelay(db, PiQuery(), c)
+	if err != nil {
+		return nil, err
+	}
+	out := NewMatrix(a.N)
+	for {
+		t, ok := e.Next()
+		if !ok {
+			break
+		}
+		out.Set(int(t[0])-1, int(t[1])-1, true)
+	}
+	return out, nil
+}
+
+// HardQuery is the Example 4.7 query φ(x1,x2,x4) = E(x1,x4) ∧ S(x1,x1,x3)
+// ∧ T(x3,x2,x4): self-join free and not free-connex. (As printed in the
+// paper its hypergraph {x1,x4},{x1,x3},{x2,x3,x4} is in fact cyclic — a
+// triangle through x1,x3,x4 — so it falls under the Theorem 4.9 extension
+// of the lower bound rather than Theorem 4.8 proper; the reduction database
+// works either way.) Head order (x1,x2) first so answers project onto
+// Π(D_BM).
+func HardQuery() *logic.CQ {
+	return logic.MustParseCQ("Phi(x1,x2,x4) :- E(x1,x4), S(x1,x1,x3), T(x3,x2,x4).")
+}
+
+// HardQueryDB builds the Example 4.7 database: E = {(a,⊥)}, S = {(a,a,b) :
+// A[a,b]}, T = {(b,c,⊥) : B[b,c]}, with ⊥ the reserved value 0, so that
+// φ(D) = Π(D_BM) × {⊥}.
+func HardQueryDB(a, b *Matrix) *database.Database {
+	const bot = database.Value(0)
+	db := database.NewDatabase()
+	e := database.NewRelation("E", 2)
+	for i := 1; i <= a.N; i++ {
+		e.InsertValues(database.Value(i), bot)
+	}
+	s := database.NewRelation("S", 3)
+	t := database.NewRelation("T", 3)
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.Get(i, j) {
+				s.InsertValues(database.Value(i+1), database.Value(i+1), database.Value(j+1))
+			}
+			if b.Get(i, j) {
+				t.InsertValues(database.Value(i+1), database.Value(j+1), bot)
+			}
+		}
+	}
+	db.AddRelation(e)
+	db.AddRelation(s)
+	db.AddRelation(t)
+	return db
+}
+
+// MultiplyViaHardQuery runs the Example 4.7 reduction end to end: evaluate
+// φ over the reduction database (with the generic evaluator, since the
+// printed query is cyclic) and read the product off the answers.
+func MultiplyViaHardQuery(a, b *Matrix) (*Matrix, error) {
+	q := HardQuery()
+	if q.IsFreeConnex() {
+		return nil, fmt.Errorf("boolmat: the hard query must not be free-connex")
+	}
+	db := HardQueryDB(a, b)
+	res, err := ineq.EvalBacktrack(db, q)
+	if err != nil {
+		return nil, err
+	}
+	out := NewMatrix(a.N)
+	for _, t := range res {
+		if t[2] != 0 {
+			return nil, fmt.Errorf("boolmat: third head column should be ⊥")
+		}
+		out.Set(int(t[0])-1, int(t[1])-1, true)
+	}
+	return out, nil
+}

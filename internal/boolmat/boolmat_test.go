@@ -1,0 +1,104 @@
+package boolmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(70) // spans two words
+	m.Set(0, 0, true)
+	m.Set(69, 69, true)
+	m.Set(3, 65, true)
+	if !m.Get(0, 0) || !m.Get(69, 69) || !m.Get(3, 65) || m.Get(1, 1) {
+		t.Fatalf("get/set broken")
+	}
+	m.Set(3, 65, false)
+	if m.Get(3, 65) {
+		t.Fatalf("clear broken")
+	}
+	if m.Ones() != 2 {
+		t.Fatalf("ones: %d", m.Ones())
+	}
+	o := NewMatrix(70)
+	if m.Equal(o) {
+		t.Fatalf("different matrices reported equal")
+	}
+	if m.Equal(NewMatrix(3)) {
+		t.Fatalf("size mismatch reported equal")
+	}
+}
+
+func TestMultiplyAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		a := Random(rng, n, 0.2)
+		b := Random(rng, n, 0.2)
+		want := MultiplyNaive(a, b)
+		if got := MultiplyBitset(a, b); !got.Equal(want) {
+			t.Fatalf("trial %d: bitset multiply differs", trial)
+		}
+		got, err := MultiplyViaQuery(a, b, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: query multiply differs", trial)
+		}
+	}
+}
+
+func TestIdentityAndZero(t *testing.T) {
+	n := 8
+	id := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, true)
+	}
+	a := Random(rand.New(rand.NewSource(2)), n, 0.3)
+	if !MultiplyBitset(a, id).Equal(a) {
+		t.Errorf("A·I != A")
+	}
+	if !MultiplyBitset(id, a).Equal(a) {
+		t.Errorf("I·A != A")
+	}
+	zero := NewMatrix(n)
+	if MultiplyBitset(a, zero).Ones() != 0 {
+		t.Errorf("A·0 != 0")
+	}
+}
+
+// E6: the Example 4.7 reduction computes the same product.
+func TestHardQueryReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := HardQuery()
+	if q.IsSelfJoinFree() == false {
+		t.Fatalf("hard query must be self-join free")
+	}
+	if q.IsFreeConnex() {
+		t.Fatalf("hard query must not be free-connex")
+	}
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(12)
+		a := Random(rng, n, 0.3)
+		b := Random(rng, n, 0.3)
+		want := MultiplyNaive(a, b)
+		got, err := MultiplyViaHardQuery(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: hard-query product differs", trial)
+		}
+	}
+}
+
+func TestPiQueryShape(t *testing.T) {
+	q := PiQuery()
+	if !q.IsAcyclic() {
+		t.Errorf("Π must be acyclic")
+	}
+	if q.IsFreeConnex() {
+		t.Errorf("Π must not be free-connex")
+	}
+}

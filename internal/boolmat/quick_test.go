@@ -1,0 +1,80 @@
+package boolmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fromSeed(seed int64, n int, p float64) *Matrix {
+	return Random(rand.New(rand.NewSource(seed)), n, p)
+}
+
+// Property: Boolean matrix multiplication is associative.
+func TestQuickMultiplyAssociative(t *testing.T) {
+	f := func(s1, s2, s3 int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		a := fromSeed(s1, n, 0.3)
+		b := fromSeed(s2, n, 0.3)
+		c := fromSeed(s3, n, 0.3)
+		l := MultiplyBitset(MultiplyBitset(a, b), c)
+		r := MultiplyBitset(a, MultiplyBitset(b, c))
+		return l.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the three multiplication routes agree.
+func TestQuickMultiplyRoutesAgree(t *testing.T) {
+	f := func(s1, s2 int64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		a := fromSeed(s1, n, 0.25)
+		b := fromSeed(s2, n, 0.25)
+		want := MultiplyNaive(a, b)
+		if !MultiplyBitset(a, b).Equal(want) {
+			return false
+		}
+		viaQ, err := MultiplyViaQuery(a, b, nil)
+		if err != nil {
+			return false
+		}
+		return viaQ.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ones of the product are at most min(onesRow(A)·n, ...) — sanity:
+// product entry set implies a witnessing k.
+func TestQuickProductWitness(t *testing.T) {
+	f := func(s1, s2 int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		a := fromSeed(s1, n, 0.3)
+		b := fromSeed(s2, n, 0.3)
+		c := MultiplyBitset(a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !c.Get(i, j) {
+					continue
+				}
+				found := false
+				for k := 0; k < n; k++ {
+					if a.Get(i, k) && b.Get(k, j) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

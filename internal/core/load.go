@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/database"
+)
+
+// LoadFacts reads a database in fact syntax, one fact per line:
+//
+//	edge(alice, bob).
+//	age(alice, 31).
+//	# comments and blank lines are skipped
+//
+// Symbolic constants are interned through the dictionary; integers are
+// used verbatim as values. The trailing period is optional.
+func LoadFacts(r io.Reader, dict *database.Dictionary) (*database.Database, error) {
+	db := database.NewDatabase()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ".")
+		open := strings.IndexByte(line, '(')
+		if open <= 0 || !strings.HasSuffix(line, ")") {
+			return nil, fmt.Errorf("core: line %d: want pred(arg,...), got %q", lineNo, line)
+		}
+		pred := strings.TrimSpace(line[:open])
+		argsStr := line[open+1 : len(line)-1]
+		var args []string
+		if strings.TrimSpace(argsStr) != "" {
+			args = strings.Split(argsStr, ",")
+		}
+		tuple := make(database.Tuple, len(args))
+		for i, a := range args {
+			a = strings.TrimSpace(a)
+			if n, err := strconv.ParseInt(a, 10, 64); err == nil {
+				tuple[i] = database.Value(n)
+			} else {
+				tuple[i] = dict.Intern(a)
+			}
+		}
+		rel := db.Relation(pred)
+		if rel == nil {
+			rel = database.NewRelation(pred, len(tuple))
+			db.AddRelation(rel)
+		}
+		if rel.Arity != len(tuple) {
+			return nil, fmt.Errorf("core: line %d: %s used with arity %d and %d", lineNo, pred, rel.Arity, len(tuple))
+		}
+		rel.Insert(tuple)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range db.Names() {
+		db.Relation(name).Dedup()
+	}
+	return db, nil
+}
+
+// FormatTuple renders an answer tuple, translating interned values back to
+// their names.
+func FormatTuple(t database.Tuple, dict *database.Dictionary) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		name := dict.Name(v)
+		if strings.HasPrefix(name, "?") {
+			parts[i] = strconv.FormatInt(int64(v), 10)
+		} else {
+			parts[i] = name
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,96 @@
+package counting
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+)
+
+func TestCountNeqFixed(t *testing.T) {
+	db := database.NewDatabase()
+	e := database.NewRelation("E", 2)
+	for _, p := range [][2]database.Value{{1, 2}, {2, 3}, {3, 1}, {1, 1}} {
+		e.InsertValues(p[0], p[1])
+	}
+	db.AddRelation(e)
+	cases := []string{
+		"Q(x,y) :- E(x,y), x != y.",
+		"Q(x) :- E(x,y), E(y,z), x != z.",
+		"Q(x,y) :- E(x,y), x != 1.",
+		"Q(x,y) :- E(x,y), x = y.",
+		"Q(x,y) :- E(x,z), E(z,y), x != y, z != 1.",
+		"Q(x,y) :- E(x,y), 1 != 2.",
+		"Q(x,y) :- E(x,y), 1 != 1.",
+	}
+	for _, src := range cases {
+		q := logic.MustParseCQ(src)
+		got, err := CountNeq(db, q)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		want := q.CountNaive(db)
+		if got.Cmp(big.NewInt(int64(want))) != 0 {
+			t.Errorf("%s: got %s want %d", src, got, want)
+		}
+	}
+	// Order comparisons and negation rejected.
+	if _, err := CountNeq(db, logic.MustParseCQ("Q(x) :- E(x,y), x < y.")); err == nil {
+		t.Errorf("order comparison must be rejected")
+	}
+	if _, err := CountNeq(db, logic.MustParseCQ("Q(x) :- E(x,y), !E(y,x).")); err == nil {
+		t.Errorf("negation must be rejected")
+	}
+}
+
+func TestCountNeqDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		q := randomACQ(rng)
+		// Sprinkle random equalities and disequalities.
+		all := q.Vars()
+		for i := 0; i < rng.Intn(4); i++ {
+			op := logic.NEQ
+			if rng.Intn(3) == 0 {
+				op = logic.EQ
+			}
+			l := logic.V(all[rng.Intn(len(all))])
+			r := logic.V(all[rng.Intn(len(all))])
+			if rng.Intn(5) == 0 {
+				r = logic.C(database.Value(rng.Intn(3) + 1))
+			}
+			q.Comparisons = append(q.Comparisons, logic.Comparison{Op: op, L: l, R: r})
+		}
+		db := randomDB(rng, q, 3, 8)
+		got, err := CountNeq(db, q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		want := q.CountNaive(db)
+		if got.Cmp(big.NewInt(int64(want))) != 0 {
+			t.Fatalf("trial %d (%s): got %s want %d", trial, q, got, want)
+		}
+	}
+}
+
+func TestCountNeqHeadConstants(t *testing.T) {
+	db := database.NewDatabase()
+	e := database.NewRelation("E", 2)
+	e.InsertValues(1, 2)
+	e.InsertValues(2, 2)
+	db.AddRelation(e)
+	// Forcing a head variable to a constant through an equality chain.
+	q := logic.MustParseCQ("Q(x,y) :- E(x,y), x = z, z = 2.")
+	got, err := CountNeq(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.CountNaive(db)
+	if got.Cmp(big.NewInt(int64(want))) != 0 {
+		t.Errorf("got %s want %d", got, want)
+	}
+	_ = fmt.Sprint(want)
+}

@@ -1,0 +1,154 @@
+// Package counting implements the counting algorithms of Section 4.4 of the
+// paper: weighted counting for quantifier-free acyclic conjunctive queries
+// (♯FACQ⁰, Theorem 4.21), the quantified-star-size algorithm for ♯ACQ
+// (Theorem 4.28), and the perfect-matching reduction of Equation 2 that
+// witnesses ♯P-hardness of ♯ACQ (Theorem 4.22).
+package counting
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/database"
+)
+
+// Semiring abstracts the (commutative) arithmetic the counting dynamic
+// program runs over. The paper states Theorem 4.21 for a field F; the
+// algorithm only needs a commutative semiring, so we expose that. Elements
+// are opaque values owned by the semiring.
+type Semiring interface {
+	Zero() interface{}
+	One() interface{}
+	Add(a, b interface{}) interface{}
+	Mul(a, b interface{}) interface{}
+	// Eq reports element equality (used by tests).
+	Eq(a, b interface{}) bool
+	String(a interface{}) string
+}
+
+// Weight maps domain elements to semiring values; the weight of a tuple is
+// the product of its components' weights (Section 4.4).
+type Weight func(database.Value) interface{}
+
+// UnitWeight returns the weight function that assigns One to every element,
+// turning weighted counting into plain counting.
+func UnitWeight(s Semiring) Weight {
+	one := s.One()
+	return func(database.Value) interface{} { return one }
+}
+
+// BigInt is the semiring of arbitrary-precision integers — exact counting
+// that cannot overflow.
+type BigInt struct{}
+
+// Zero returns 0.
+func (BigInt) Zero() interface{} { return new(big.Int) }
+
+// One returns 1.
+func (BigInt) One() interface{} { return big.NewInt(1) }
+
+// Add returns a+b.
+func (BigInt) Add(a, b interface{}) interface{} {
+	return new(big.Int).Add(a.(*big.Int), b.(*big.Int))
+}
+
+// Mul returns a·b.
+func (BigInt) Mul(a, b interface{}) interface{} {
+	return new(big.Int).Mul(a.(*big.Int), b.(*big.Int))
+}
+
+// Eq reports a == b.
+func (BigInt) Eq(a, b interface{}) bool { return a.(*big.Int).Cmp(b.(*big.Int)) == 0 }
+
+// String formats a.
+func (BigInt) String(a interface{}) string { return a.(*big.Int).String() }
+
+// Float64 is the field of float64 numbers (approximate weighted counting,
+// e.g. probabilities).
+type Float64 struct{}
+
+// Zero returns 0.
+func (Float64) Zero() interface{} { return float64(0) }
+
+// One returns 1.
+func (Float64) One() interface{} { return float64(1) }
+
+// Add returns a+b.
+func (Float64) Add(a, b interface{}) interface{} { return a.(float64) + b.(float64) }
+
+// Mul returns a·b.
+func (Float64) Mul(a, b interface{}) interface{} { return a.(float64) * b.(float64) }
+
+// Eq reports approximate equality.
+func (Float64) Eq(a, b interface{}) bool {
+	x, y := a.(float64), b.(float64)
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	m := x
+	if m < 0 {
+		m = -m
+	}
+	if y > m {
+		m = y
+	} else if -y > m {
+		m = -y
+	}
+	return d <= 1e-9*(1+m)
+}
+
+// String formats a.
+func (Float64) String(a interface{}) string { return fmt.Sprintf("%g", a.(float64)) }
+
+// GF is the prime field Z/pZ. Useful for modular counting and as a third
+// Field instance exercising the parametricity of Theorem 4.21.
+type GF struct{ P uint64 }
+
+// NewGF returns the field Z/pZ; p must be a prime > 1 (not verified).
+func NewGF(p uint64) GF { return GF{P: p} }
+
+// Zero returns 0.
+func (f GF) Zero() interface{} { return uint64(0) }
+
+// One returns 1 mod p.
+func (f GF) One() interface{} { return uint64(1 % f.P) }
+
+// Add returns a+b mod p.
+func (f GF) Add(a, b interface{}) interface{} { return (a.(uint64) + b.(uint64)) % f.P }
+
+// Mul returns a·b mod p.
+func (f GF) Mul(a, b interface{}) interface{} {
+	return (a.(uint64) * b.(uint64)) % f.P
+}
+
+// Eq reports a == b.
+func (f GF) Eq(a, b interface{}) bool { return a.(uint64) == b.(uint64) }
+
+// String formats a.
+func (f GF) String(a interface{}) string { return fmt.Sprintf("%d (mod %d)", a.(uint64), f.P) }
+
+// Rational is the field ℚ of arbitrary-precision rationals.
+type Rational struct{}
+
+// Zero returns 0.
+func (Rational) Zero() interface{} { return new(big.Rat) }
+
+// One returns 1.
+func (Rational) One() interface{} { return big.NewRat(1, 1) }
+
+// Add returns a+b.
+func (Rational) Add(a, b interface{}) interface{} {
+	return new(big.Rat).Add(a.(*big.Rat), b.(*big.Rat))
+}
+
+// Mul returns a·b.
+func (Rational) Mul(a, b interface{}) interface{} {
+	return new(big.Rat).Mul(a.(*big.Rat), b.(*big.Rat))
+}
+
+// Eq reports a == b.
+func (Rational) Eq(a, b interface{}) bool { return a.(*big.Rat).Cmp(b.(*big.Rat)) == 0 }
+
+// String formats a.
+func (Rational) String(a interface{}) string { return a.(*big.Rat).RatString() }

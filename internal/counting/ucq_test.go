@@ -1,0 +1,164 @@
+package counting
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+)
+
+func TestIntersectCQs(t *testing.T) {
+	a := logic.MustParseCQ("Q(x,y) :- R(x,z), S(z,y).")
+	b := logic.MustParseCQ("P(u,v) :- T(u,v).")
+	q, err := IntersectCQs([]*logic.CQ{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 2 || q.Head[0] != "h0" || q.Head[1] != "h1" {
+		t.Fatalf("head: %v", q.Head)
+	}
+	if len(q.Atoms) != 3 {
+		t.Fatalf("atoms: %v", q.Atoms)
+	}
+	// Repeated head variable forces position unification.
+	c := logic.MustParseCQ("R2(x,x) :- U(x).")
+	q2, err := IntersectCQs([]*logic.CQ{a, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Head[0] != q2.Head[1] {
+		t.Fatalf("positions not unified: %v", q2.Head)
+	}
+	if _, err := IntersectCQs(nil); err == nil {
+		t.Errorf("empty intersection must fail")
+	}
+	if _, err := IntersectCQs([]*logic.CQ{a, logic.MustParseCQ("P(x) :- T(x,x).")}); err == nil {
+		t.Errorf("arity mismatch must fail")
+	}
+}
+
+func randomUCQ(rng *rand.Rand) *logic.UCQ {
+	arity := rng.Intn(3)
+	k := 1 + rng.Intn(3)
+	u := &logic.UCQ{Name: "U"}
+	for d := 0; d < k; d++ {
+		numAtoms := 1 + rng.Intn(3)
+		q := &logic.CQ{Name: fmt.Sprintf("U%d", d)}
+		varCount := 0
+		fresh := func() string { varCount++; return fmt.Sprintf("v%d", varCount) }
+		var atoms []logic.Atom
+		for i := 0; i < numAtoms; i++ {
+			var vars []string
+			if i > 0 {
+				prev := atoms[rng.Intn(len(atoms))]
+				for _, v := range prev.Vars() {
+					if rng.Intn(2) == 0 {
+						vars = append(vars, v)
+					}
+				}
+			}
+			for len(vars) == 0 || rng.Intn(3) == 0 {
+				vars = append(vars, fresh())
+				if len(vars) >= 3 {
+					break
+				}
+			}
+			// Shared relation names across disjuncts on purpose.
+			atoms = append(atoms, logic.NewAtom(fmt.Sprintf("R%d", rng.Intn(3)), vars...))
+		}
+		q.Atoms = atoms
+		all := q.Vars()
+		for len(q.Head) < arity {
+			q.Head = append(q.Head, all[rng.Intn(len(all))])
+		}
+		u.Disjuncts = append(u.Disjuncts, q)
+	}
+	return u
+}
+
+func TestCountUCQDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tested := 0
+	for trial := 0; trial < 600 && tested < 200; trial++ {
+		u := randomUCQ(rng)
+		// Relations R0,R1,R2 may be used at different arities across
+		// disjuncts; regenerate until consistent.
+		arities := map[string]int{}
+		ok := true
+		for _, d := range u.Disjuncts {
+			for _, a := range d.Atoms {
+				if prev, seen := arities[a.Pred]; seen && prev != len(a.Args) {
+					ok = false
+				}
+				arities[a.Pred] = len(a.Args)
+			}
+		}
+		if !ok {
+			continue
+		}
+		tested++
+		db := database.NewDatabase()
+		for pred, ar := range arities {
+			r := database.NewRelation(pred, ar)
+			for i := 0; i < 8; i++ {
+				tp := make(database.Tuple, ar)
+				for j := range tp {
+					tp[j] = database.Value(rng.Intn(3) + 1)
+				}
+				r.Insert(tp)
+			}
+			r.Dedup()
+			db.AddRelation(r)
+		}
+		got, err := CountUCQ(db, u)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, u, err)
+		}
+		want := len(u.EvalNaive(db))
+		if got.Cmp(big.NewInt(int64(want))) != 0 {
+			t.Fatalf("trial %d (%s): got %s want %d", trial, u, got, want)
+		}
+	}
+	if tested < 100 {
+		t.Fatalf("too few consistent samples: %d", tested)
+	}
+}
+
+func TestCountUCQEdgeCases(t *testing.T) {
+	db := database.NewDatabase()
+	r := database.NewRelation("R", 2)
+	r.InsertValues(1, 2)
+	r.InsertValues(2, 3)
+	db.AddRelation(r)
+
+	// Union of identical disjuncts counts once.
+	u := logic.MustParseUCQ("Q(x,y) :- R(x,y); Q(a,b) :- R(a,b).")
+	got, err := CountUCQ(db, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("identical union: %s, want 2", got)
+	}
+	// Boolean union.
+	ub := logic.MustParseUCQ("Q() :- R(x,x); Q() :- R(x,y).")
+	got, err = CountUCQ(db, ub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("Boolean union: %s, want 1", got)
+	}
+	// Empty union.
+	got, err = CountUCQ(db, &logic.UCQ{})
+	if err != nil || got.Sign() != 0 {
+		t.Errorf("empty union: %s, %v", got, err)
+	}
+	// Negation rejected.
+	if _, err := CountUCQ(db, logic.MustParseUCQ("Q(x) :- R(x,y), !R(y,x).")); err == nil {
+		t.Errorf("negation must be rejected")
+	}
+}

@@ -1,0 +1,441 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/database"
+	"repro/internal/delay"
+	"repro/internal/hypergraph"
+	"repro/internal/logic"
+)
+
+// EnumerateConstantDelay enumerates φ(D) for a free-connex acyclic
+// conjunctive query with constant delay after linear-time preprocessing
+// (Theorem 4.6). The preprocessing follows the construction illustrated by
+// Figure 1 of the paper:
+//
+//  1. build a join tree T' of the hypergraph extended with the head edge
+//     (Definition 4.4), rooted at the head;
+//  2. in a bottom-up pass, semijoin-filter each atom with its children and
+//     project away the existentially quantified variables that are not
+//     shared with the parent (the "S ← ..., S′ ← ..., R ← ..." steps of the
+//     paper's example) — free-connexity guarantees that every free variable
+//     occurring in a subtree already occurs in the subtree's root, so these
+//     projections lose no answers;
+//  3. the children of the head now carry relations over free variables
+//     only, whose schemas form an acyclic hypergraph; full-reduce them along
+//     a join tree and enumerate the resulting full join by a cursor
+//     odometer, each move being one hash-index lookup.
+//
+// The per-output delay is O(‖φ‖) index operations, independent of ‖D‖.
+func EnumerateConstantDelay(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.Enumerator, error) {
+	parts, err := BuildFreeParts(db, q, c)
+	if err != nil {
+		return nil, err
+	}
+	return NewOdometer(q.Head, parts, c)
+}
+
+// BuildFreeParts runs the preprocessing of Theorem 4.6 (steps 1 and 2 of
+// the construction described on EnumerateConstantDelay) and returns the
+// head node's children relations, whose schemas consist of free variables
+// only and form an acyclic hypergraph. φ(D) is exactly their join.
+func BuildFreeParts(db *database.Database, q *logic.CQ, c *delay.Counter) ([]Rel, error) {
+	t, err := BuildTree(db, q, true)
+	if err != nil {
+		return nil, err
+	}
+	// Bottom-up elimination pass (step 2).
+	b := make([]Rel, len(t.Rels))
+	for _, i := range t.postord {
+		if i == t.HeadIdx {
+			continue
+		}
+		r := t.Rels[i]
+		for _, ch := range t.children[i] {
+			r = semijoin(r, b[ch])
+			c.Tick(int64(r.R.Len()) + 1)
+		}
+		// Keep the variables that are free or shared with the parent.
+		keep := make(map[string]bool)
+		p := t.JT.Parent[i]
+		var pe hypergraph.Edge
+		if p >= 0 {
+			pe = t.JT.Nodes[p]
+		}
+		freeSet := headSet(q)
+		for _, v := range r.Schema {
+			if freeSet[v] || (p >= 0 && pe.Has(v)) {
+				keep[v] = true
+			}
+		}
+		r = project(r, sortedVars(keep))
+		r.R.Dedup()
+		c.Tick(int64(r.R.Len()) + 1)
+		b[i] = r
+	}
+	// Step 3: the head's children hold relations over free variables only.
+	var parts []Rel
+	for _, ch := range t.children[t.HeadIdx] {
+		parts = append(parts, b[ch])
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("cq: internal: head node has no children for %s", q.Name)
+	}
+	return parts, nil
+}
+
+func headSet(q *logic.CQ) map[string]bool {
+	s := make(map[string]bool, len(q.Head))
+	for _, v := range q.Head {
+		s[v] = true
+	}
+	return s
+}
+
+// Odometer enumerates a full acyclic join of relations over free variables
+// with constant delay after full reduction. It additionally exposes, after
+// each Next, the tuple currently selected in each input part — used by the
+// ineq package to attach witness checks to each output (Theorem 4.20).
+type Odometer struct {
+	o *odometer
+	// origPos[i] = position in the visit order of input part i.
+	origPos []int
+}
+
+// Next produces the next answer with constant delay.
+func (od *Odometer) Next() (database.Tuple, bool) { return od.o.Next() }
+
+// PartTuple returns the tuple currently selected in input part i. Only
+// valid after a successful Next.
+func (od *Odometer) PartTuple(i int) database.Tuple {
+	j := od.origPos[i]
+	return od.o.buckets[j][od.o.cursors[j]]
+}
+
+// odometer enumerates a full acyclic join of relations over free variables
+// with constant delay after full reduction.
+type odometer struct {
+	c     *delay.Counter
+	order []int // node visit order (preorder of the join tree of parts)
+	rels  []Rel // aligned with order
+	// For position j > 0: bucket lookup of rels[j] keyed on the columns
+	// shared with the tree parent, probed with the parent's current tuple.
+	parentPos []int // position in order of the tree parent (or -1 for 0)
+	probeCols []int // flat storage; see probes
+	probes    [][2][]int
+	idx       []*database.Index
+	cursors   []int
+	buckets   [][]database.Tuple
+	outPos    [][2]int // for each output variable: (position, column)
+	out       database.Tuple
+	started   bool
+	dead      bool
+}
+
+// NewOdometer builds the constant-delay enumerator for the full join of
+// parts (schemas forming an acyclic hypergraph), with output columns
+// ordered as head. The parts are full-reduced in place.
+func NewOdometer(head []string, parts []Rel, c *delay.Counter) (*Odometer, error) {
+	// Join tree of the part schemas.
+	h := hypergraph.New()
+	for i, p := range parts {
+		h.AddEdge(hypergraph.NewEdge(fmt.Sprintf("V%d", i), p.Schema...))
+	}
+	jt, ok := hypergraph.GYO(h)
+	if !ok {
+		return nil, fmt.Errorf("cq: internal: head-part schemas not acyclic")
+	}
+	// Full-reduce parts along jt.
+	ch := jt.Children()
+	post := postorder(jt)
+	for _, i := range post {
+		for _, cc := range ch[i] {
+			parts[i] = semijoin(parts[i], parts[cc])
+			c.Tick(int64(parts[i].R.Len()) + 1)
+		}
+	}
+	for k := len(post) - 1; k >= 0; k-- {
+		i := post[k]
+		for _, cc := range ch[i] {
+			parts[cc] = semijoin(parts[cc], parts[i])
+			c.Tick(int64(parts[cc].R.Len()) + 1)
+		}
+	}
+	dead := false
+	for _, p := range parts {
+		if p.R.Len() == 0 {
+			dead = true
+		}
+	}
+	// Preorder.
+	var order []int
+	var pre func(i int)
+	pre = func(i int) {
+		order = append(order, i)
+		for _, cc := range ch[i] {
+			pre(cc)
+		}
+	}
+	pre(jt.Root())
+
+	o := &odometer{c: c, dead: dead}
+	o.order = order
+	o.rels = make([]Rel, len(order))
+	o.parentPos = make([]int, len(order))
+	o.probes = make([][2][]int, len(order))
+	o.idx = make([]*database.Index, len(order))
+	o.cursors = make([]int, len(order))
+	o.buckets = make([][]database.Tuple, len(order))
+	posOf := make(map[int]int, len(order))
+	for j, node := range order {
+		posOf[node] = j
+		o.rels[j] = parts[node]
+		if j == 0 {
+			o.parentPos[j] = -1
+			o.buckets[j] = parts[node].R.Tuples
+			continue
+		}
+		p := jt.Parent[node]
+		pp := posOf[p]
+		o.parentPos[j] = pp
+		var jc, pc []int
+		for col, v := range parts[node].Schema {
+			if k := o.rels[pp].col(v); k >= 0 {
+				jc = append(jc, col)
+				pc = append(pc, k)
+			}
+		}
+		o.probes[j] = [2][]int{jc, pc}
+		o.idx[j] = parts[node].R.IndexOn(jc)
+	}
+	// Output mapping: first position whose schema holds each head variable.
+	for _, v := range head {
+		found := false
+		for j := range order {
+			if k := o.rels[j].col(v); k >= 0 {
+				o.outPos = append(o.outPos, [2]int{j, k})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cq: head variable %q missing from join parts", v)
+		}
+	}
+	o.out = make(database.Tuple, len(head))
+	origPos := make([]int, len(parts))
+	for i := range parts {
+		origPos[i] = posOf[i]
+	}
+	return &Odometer{o: o, origPos: origPos}, nil
+}
+
+// reinit repositions the cursor of position j at the first tuple of its
+// bucket (recomputing the bucket from the parent's current tuple). After
+// full reduction the bucket is never empty.
+func (o *odometer) reinit(j int) {
+	if j > 0 {
+		pp := o.parentPos[j]
+		pt := o.buckets[pp][o.cursors[pp]]
+		o.buckets[j] = o.idx[j].Lookup(pt.Key(o.probes[j][1]))
+		o.c.Tick(1)
+	}
+	o.cursors[j] = 0
+}
+
+// Next produces the next answer. Each call performs O(number of parts)
+// index operations: constant delay in data complexity.
+func (o *odometer) Next() (database.Tuple, bool) {
+	m := len(o.order)
+	if o.dead {
+		return nil, false
+	}
+	if !o.started {
+		o.started = true
+		if len(o.buckets[0]) == 0 {
+			o.dead = true
+			return nil, false
+		}
+		for j := 0; j < m; j++ {
+			o.reinit(j)
+		}
+		return o.emit(), true
+	}
+	// Advance the odometer: find the deepest position that can move.
+	j := m - 1
+	for j >= 0 {
+		o.c.Tick(1)
+		o.cursors[j]++
+		if o.cursors[j] < len(o.buckets[j]) {
+			break
+		}
+		j--
+	}
+	if j < 0 {
+		o.dead = true
+		return nil, false
+	}
+	for k := j + 1; k < m; k++ {
+		o.reinit(k)
+	}
+	return o.emit(), true
+}
+
+func (o *odometer) emit() database.Tuple {
+	for i, pc := range o.outPos {
+		o.out[i] = o.buckets[pc[0]][o.cursors[pc[0]]][pc[1]]
+		o.c.Tick(1)
+	}
+	return o.out
+}
+
+// EnumerateLinearDelay enumerates φ(D) for any acyclic conjunctive query
+// with linear-time preprocessing and delay O(‖φ‖·‖D‖) between outputs —
+// Algorithm 2 of the paper (Theorem 4.3). Head variables are bound one at a
+// time; after each binding the restricted instance is Yannakakis-reduced, so
+// every surviving candidate value extends to at least one answer and the
+// enumeration never backtracks over dead ends.
+func EnumerateLinearDelay(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.Enumerator, error) {
+	t, err := BuildTree(db, q, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Head) == 0 {
+		ok, err := Decide(db, q)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return delay.Singleton(database.Tuple{}), nil
+		}
+		return delay.Empty(), nil
+	}
+	e := &linEnum{t: t, head: q.Head, c: c}
+	base := reduceCopy(t, t.Rels, c)
+	if base == nil {
+		e.exhausted = true
+	} else {
+		e.push(base)
+	}
+	return e, nil
+}
+
+type linLevel struct {
+	rels  []Rel // reduced relations with head[0..depth-1] already bound
+	cands []database.Value
+	idx   int
+}
+
+type linEnum struct {
+	t         *Tree
+	head      []string
+	c         *delay.Counter
+	levels    []*linLevel
+	exhausted bool
+}
+
+// reduceCopy runs the full reducer over a copy of rels along t's join tree;
+// it returns nil if the join is empty.
+func reduceCopy(t *Tree, rels []Rel, c *delay.Counter) []Rel {
+	out := make([]Rel, len(rels))
+	copy(out, rels)
+	for _, i := range t.postord {
+		for _, ch := range t.children[i] {
+			out[i] = semijoin(out[i], out[ch])
+			c.Tick(int64(out[i].R.Len()) + 1)
+		}
+	}
+	for k := len(t.postord) - 1; k >= 0; k-- {
+		i := t.postord[k]
+		for _, ch := range t.children[i] {
+			out[ch] = semijoin(out[ch], out[i])
+			c.Tick(int64(out[ch].R.Len()) + 1)
+		}
+	}
+	for _, r := range out {
+		if r.R.Len() == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// push appends the level for the next head variable, computing its
+// candidate values from any reduced relation containing it.
+func (e *linEnum) push(rels []Rel) {
+	v := e.head[len(e.levels)]
+	lv := &linLevel{rels: rels, idx: -1}
+	for _, r := range rels {
+		col := r.col(v)
+		if col < 0 {
+			continue
+		}
+		seen := make(map[database.Value]bool, r.R.Len())
+		for _, t := range r.R.Tuples {
+			seen[t[col]] = true
+			e.c.Tick(1)
+		}
+		lv.cands = make([]database.Value, 0, len(seen))
+		for val := range seen {
+			lv.cands = append(lv.cands, val)
+		}
+		sort.Slice(lv.cands, func(i, j int) bool { return lv.cands[i] < lv.cands[j] })
+		break
+	}
+	e.levels = append(e.levels, lv)
+}
+
+// restrict returns copies of rels with every relation containing v filtered
+// to tuples where v = val.
+func restrict(rels []Rel, v string, val database.Value, c *delay.Counter) []Rel {
+	out := make([]Rel, len(rels))
+	for i, r := range rels {
+		col := r.col(v)
+		if col < 0 {
+			out[i] = r
+			continue
+		}
+		c.Tick(int64(r.R.Len()))
+		out[i] = Rel{Schema: r.Schema, R: r.R.Select(r.R.Name, func(t database.Tuple) bool {
+			return t[col] == val
+		})}
+	}
+	return out
+}
+
+func (e *linEnum) Next() (database.Tuple, bool) {
+	if e.exhausted {
+		return nil, false
+	}
+	for {
+		i := len(e.levels) - 1
+		if i < 0 {
+			e.exhausted = true
+			return nil, false
+		}
+		lv := e.levels[i]
+		lv.idx++
+		if lv.idx >= len(lv.cands) {
+			e.levels = e.levels[:i]
+			continue
+		}
+		val := lv.cands[lv.idx]
+		if i == len(e.head)-1 {
+			out := make(database.Tuple, len(e.head))
+			for k, l := range e.levels {
+				out[k] = l.cands[l.idx]
+			}
+			return out, true
+		}
+		// Bind head[i] := val, reduce, descend. Reduction cannot fail:
+		// every candidate survives by full reduction of the parent level.
+		next := reduceCopy(e.t, restrict(lv.rels, e.head[i], val, e.c), e.c)
+		if next == nil {
+			// Defensive: should not happen after full reduction.
+			continue
+		}
+		e.push(next)
+	}
+}

@@ -1,0 +1,266 @@
+package cq
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"repro/internal/database"
+	"repro/internal/delay"
+	"repro/internal/hypergraph"
+	"repro/internal/logic"
+)
+
+// RandomAccess gives O(‖φ‖·log‖D‖)-time access to the i-th answer of a
+// free-connex acyclic conjunctive query, in a fixed (data-dependent)
+// order, after the same linear preprocessing as constant-delay enumeration
+// plus one counting pass — the "random access and random-order
+// enumeration" extension of [23] mentioned in Section 4.3 of the paper.
+//
+// The structure: after the Theorem 4.6 preprocessing, φ(D) is the full
+// join of free-variable relations arranged in a join tree. A bottom-up
+// pass computes, for every tuple, the number of extensions in its subtree;
+// answer i is then found by descending the tree, picking the child tuples
+// by prefix-sum search (mixed-radix decomposition across sibling
+// subtrees).
+type RandomAccess struct {
+	head  []string
+	order []int // preorder of the join-tree nodes
+	rels  []Rel // aligned with node ids
+	tree  *hypergraph.JoinTree
+
+	// Per node: tuple weights (number of subtree extensions) and, per
+	// separator key, the bucket tuples with cumulative weights.
+	weight  [][]*big.Int
+	buckets []map[string]*bucket
+	rootB   *bucket
+
+	outPos [][2]int // head variable -> (node, column)
+	total  *big.Int
+}
+
+type bucket struct {
+	tuples []database.Tuple
+	weight []*big.Int // weight of each tuple
+	cum    []*big.Int // cumulative weights (cum[i] = Σ_{j≤i} weight[j])
+}
+
+func (b *bucket) totalWeight() *big.Int {
+	if len(b.cum) == 0 {
+		return new(big.Int)
+	}
+	return b.cum[len(b.cum)-1]
+}
+
+// find returns the index i with cum[i-1] ≤ x < cum[i] and the residue
+// x − cum[i−1], by binary search.
+func (b *bucket) find(x *big.Int) (int, *big.Int) {
+	i := sort.Search(len(b.cum), func(i int) bool { return b.cum[i].Cmp(x) > 0 })
+	res := new(big.Int).Set(x)
+	if i > 0 {
+		res.Sub(res, b.cum[i-1])
+	}
+	return i, res
+}
+
+// NewRandomAccess builds the access structure for a free-connex acyclic
+// conjunctive query.
+func NewRandomAccess(db *database.Database, q *logic.CQ) (*RandomAccess, error) {
+	parts, err := BuildFreeParts(db, q, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Join tree over the part schemas, plus full reduction.
+	h := hypergraph.New()
+	for i, p := range parts {
+		h.AddEdge(hypergraph.NewEdge(fmt.Sprintf("V%d", i), p.Schema...))
+	}
+	jt, ok := hypergraph.GYO(h)
+	if !ok {
+		return nil, fmt.Errorf("cq: internal: free parts not acyclic")
+	}
+	ch := jt.Children()
+	post := postorder(jt)
+	for _, i := range post {
+		for _, c := range ch[i] {
+			parts[i] = semijoin(parts[i], parts[c])
+		}
+	}
+	for k := len(post) - 1; k >= 0; k-- {
+		i := post[k]
+		for _, c := range ch[i] {
+			parts[c] = semijoin(parts[c], parts[i])
+		}
+	}
+	ra := &RandomAccess{head: q.Head, rels: parts, tree: jt}
+	ra.weight = make([][]*big.Int, len(parts))
+	ra.buckets = make([]map[string]*bucket, len(parts))
+
+	// Bottom-up weights: weight(t) = Π over children of the total weight
+	// of the child bucket matching t on the separator.
+	for _, i := range post {
+		rel := parts[i]
+		ra.weight[i] = make([]*big.Int, rel.R.Len())
+		for ti, t := range rel.R.Tuples {
+			w := big.NewInt(1)
+			for _, c := range ch[i] {
+				b := ra.childBucket(i, c, t)
+				if b == nil {
+					w = new(big.Int)
+					break
+				}
+				w.Mul(w, b.totalWeight())
+			}
+			ra.weight[i][ti] = w
+		}
+		// Group into buckets keyed on the separator towards the parent.
+		sep := ra.sepCols(i, jt.Parent[i])
+		ra.buckets[i] = map[string]*bucket{}
+		for ti, t := range rel.R.Tuples {
+			key := t.Key(sep)
+			b := ra.buckets[i][key]
+			if b == nil {
+				b = &bucket{}
+				ra.buckets[i][key] = b
+			}
+			b.tuples = append(b.tuples, t)
+			b.weight = append(b.weight, ra.weight[i][ti])
+			prev := new(big.Int)
+			if len(b.cum) > 0 {
+				prev = b.cum[len(b.cum)-1]
+			}
+			b.cum = append(b.cum, new(big.Int).Add(prev, ra.weight[i][ti]))
+		}
+	}
+	root := jt.Root()
+	ra.rootB = ra.buckets[root][database.Tuple{}.Key(nil)]
+	if ra.rootB == nil {
+		ra.rootB = &bucket{}
+	}
+	ra.total = ra.rootB.totalWeight()
+
+	// Preorder and output positions.
+	var pre func(i int)
+	pre = func(i int) {
+		ra.order = append(ra.order, i)
+		for _, c := range ch[i] {
+			pre(c)
+		}
+	}
+	pre(root)
+	for _, v := range q.Head {
+		found := false
+		for _, i := range ra.order {
+			if k := parts[i].col(v); k >= 0 {
+				ra.outPos = append(ra.outPos, [2]int{i, k})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cq: head variable %q missing from join parts", v)
+		}
+	}
+	return ra, nil
+}
+
+// sepCols returns the columns of node i shared with node p (nil if p < 0:
+// the root groups into a single bucket under the empty key).
+func (ra *RandomAccess) sepCols(i, p int) []int {
+	if p < 0 {
+		return nil
+	}
+	var cols []int
+	for col, v := range ra.rels[i].Schema {
+		if ra.rels[p].col(v) >= 0 {
+			cols = append(cols, col)
+		}
+	}
+	return cols
+}
+
+// childBucket returns child c's bucket matching parent tuple t.
+func (ra *RandomAccess) childBucket(parent, c int, t database.Tuple) *bucket {
+	var cols []int
+	for _, v := range ra.rels[c].Schema {
+		if k := ra.rels[parent].col(v); k >= 0 {
+			cols = append(cols, k)
+		}
+	}
+	return ra.buckets[c][t.Key(cols)]
+}
+
+// Count returns |φ(D)|, computed during construction — this doubles as a
+// counting algorithm for free-connex queries.
+func (ra *RandomAccess) Count() *big.Int { return new(big.Int).Set(ra.total) }
+
+// Get returns the i-th answer (0-based) in the structure's fixed order.
+// Each call costs O(‖φ‖·log‖D‖): one prefix-sum search per join-tree node.
+func (ra *RandomAccess) Get(i *big.Int) (database.Tuple, error) {
+	if i.Sign() < 0 || i.Cmp(ra.total) >= 0 {
+		return nil, fmt.Errorf("cq: index %s out of range [0, %s)", i, ra.total)
+	}
+	chosen := make(map[int]database.Tuple, len(ra.order))
+	ch := ra.tree.Children()
+	var descend func(node int, b *bucket, idx *big.Int)
+	descend = func(node int, b *bucket, idx *big.Int) {
+		ti, res := b.find(idx)
+		t := b.tuples[ti]
+		chosen[node] = t
+		// Mixed-radix decomposition of res across the children: child c1 is
+		// the most significant digit.
+		kids := ch[node]
+		if len(kids) == 0 {
+			return
+		}
+		// radix for child k = Π_{j>k} totalWeight(bucket_j)
+		bks := make([]*bucket, len(kids))
+		for k, c := range kids {
+			bks[k] = ra.childBucket(node, c, t)
+		}
+		for k := range kids {
+			radix := big.NewInt(1)
+			for j := k + 1; j < len(kids); j++ {
+				radix.Mul(radix, bks[j].totalWeight())
+			}
+			digit := new(big.Int)
+			digit.DivMod(res, radix, res)
+			descend(kids[k], bks[k], digit)
+		}
+	}
+	descend(ra.tree.Root(), ra.rootB, new(big.Int).Set(i))
+	out := make(database.Tuple, len(ra.head))
+	for k, pc := range ra.outPos {
+		out[k] = chosen[pc[0]][pc[1]]
+	}
+	return out, nil
+}
+
+// GetInt is Get with an int index.
+func (ra *RandomAccess) GetInt(i int64) (database.Tuple, error) {
+	return ra.Get(big.NewInt(i))
+}
+
+// RandomOrder returns an enumerator producing every answer exactly once in
+// uniformly random order — the random-order enumeration of [23]. It
+// requires the answer count to fit in memory as a permutation (≤ 1<<24).
+func (ra *RandomAccess) RandomOrder(rng *rand.Rand) (delay.Enumerator, error) {
+	if !ra.total.IsInt64() || ra.total.Int64() > 1<<24 {
+		return nil, fmt.Errorf("cq: %s answers is too many for an in-memory permutation", ra.total)
+	}
+	n := ra.total.Int64()
+	perm := rng.Perm(int(n))
+	i := 0
+	return delay.Func(func() (database.Tuple, bool) {
+		if i >= len(perm) {
+			return nil, false
+		}
+		t, err := ra.GetInt(int64(perm[i]))
+		i++
+		if err != nil {
+			return nil, false
+		}
+		return t, true
+	}), nil
+}

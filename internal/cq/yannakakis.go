@@ -1,0 +1,180 @@
+package cq
+
+import (
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/hypergraph"
+	"repro/internal/logic"
+)
+
+// Tree is a join tree of an acyclic conjunctive query with the atom
+// relations attached to its nodes. If the tree was built for the
+// free-connex construction, node HeadIdx is the synthetic head edge and
+// carries no relation.
+type Tree struct {
+	Q       *logic.CQ
+	JT      *hypergraph.JoinTree
+	Rels    []Rel // aligned with JT.Nodes; Rels[HeadIdx].R == nil
+	HeadIdx int   // index of the synthetic head node, or -1
+
+	children [][]int
+	postord  []int
+}
+
+// BuildTree constructs a join tree for q over db. With withHead set, the
+// synthetic head edge {free(q)} is added (Definition 4.4) and the tree is
+// rooted at it; q must then be free-connex.
+func BuildTree(db *database.Database, q *logic.CQ, withHead bool) (*Tree, error) {
+	if err := checkPlainACQ(q); err != nil {
+		return nil, err
+	}
+	h := q.Hypergraph()
+	headIdx := -1
+	if withHead {
+		headIdx = len(h.Edges)
+		h.AddEdge(hypergraph.NewEdge("__head__", q.Head...))
+	}
+	jt, ok := hypergraph.GYO(h)
+	if !ok {
+		if withHead {
+			return nil, fmt.Errorf("cq: query %s is not free-connex", q.Name)
+		}
+		return nil, fmt.Errorf("cq: query %s is not acyclic", q.Name)
+	}
+	if withHead {
+		jt.Reroot(headIdx)
+	}
+	t := &Tree{Q: q, JT: jt, HeadIdx: headIdx}
+	t.Rels = make([]Rel, len(jt.Nodes))
+	for i := range jt.Nodes {
+		if i == headIdx {
+			continue
+		}
+		r, err := AtomRelation(db, q.Atoms[i])
+		if err != nil {
+			return nil, err
+		}
+		t.Rels[i] = r
+	}
+	t.children = jt.Children()
+	t.postord = postorder(jt)
+	return t, nil
+}
+
+// postorder returns the node indices so that children precede parents.
+func postorder(jt *hypergraph.JoinTree) []int {
+	ch := jt.Children()
+	var out []int
+	var rec func(i int)
+	rec = func(i int) {
+		for _, c := range ch[i] {
+			rec(c)
+		}
+		out = append(out, i)
+	}
+	if r := jt.Root(); r >= 0 {
+		rec(r)
+	}
+	return out
+}
+
+// FullReduce runs the Yannakakis full reducer: a bottom-up semijoin pass
+// followed by a top-down pass. Afterwards every tuple of every relation
+// participates in at least one solution of the full join. It reports
+// whether the join is nonempty.
+func (t *Tree) FullReduce() bool {
+	if t.HeadIdx >= 0 {
+		panic("cq: FullReduce on a head-extended tree")
+	}
+	// Bottom-up.
+	for _, i := range t.postord {
+		for _, c := range t.children[i] {
+			t.Rels[i] = semijoin(t.Rels[i], t.Rels[c])
+		}
+	}
+	// Top-down.
+	for k := len(t.postord) - 1; k >= 0; k-- {
+		i := t.postord[k]
+		for _, c := range t.children[i] {
+			t.Rels[c] = semijoin(t.Rels[c], t.Rels[i])
+		}
+	}
+	for _, r := range t.Rels {
+		if r.R.Len() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decide answers the Boolean query problem for an acyclic conjunctive query
+// via the bottom-up semijoin pass (Theorem 4.2 specialized to sentences):
+// time O(‖φ‖·‖D‖) up to hashing.
+func Decide(db *database.Database, q *logic.CQ) (bool, error) {
+	t, err := BuildTree(db, q, false)
+	if err != nil {
+		return false, err
+	}
+	for _, i := range t.postord {
+		for _, c := range t.children[i] {
+			t.Rels[i] = semijoin(t.Rels[i], t.Rels[c])
+		}
+		if t.Rels[i].R.Len() == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Eval computes φ(D) for an acyclic conjunctive query with the Yannakakis
+// algorithm (Theorem 4.2): full reduction, then a bottom-up join pass that
+// projects each intermediate result onto the variables still needed (head
+// variables of the subtree plus the separator towards the parent), keeping
+// intermediate results within O(‖φ(D)‖·‖D‖). Answers are in head order,
+// deduplicated and sorted.
+func Eval(db *database.Database, q *logic.CQ) ([]database.Tuple, error) {
+	t, err := BuildTree(db, q, false)
+	if err != nil {
+		return nil, err
+	}
+	if !t.FullReduce() {
+		return nil, nil
+	}
+	head := make(map[string]bool, len(q.Head))
+	for _, v := range q.Head {
+		head[v] = true
+	}
+	// acc[i] = join of subtree(i) projected onto subtree head vars ∪ sep to
+	// parent.
+	acc := make([]Rel, len(t.Rels))
+	for _, i := range t.postord {
+		a := t.Rels[i]
+		for _, c := range t.children[i] {
+			a = join(a.R.Name, a, acc[c])
+		}
+		// Keep: head vars present in a's schema, plus vars shared with the
+		// parent node.
+		keep := make(map[string]bool)
+		for _, v := range a.Schema {
+			if head[v] {
+				keep[v] = true
+			}
+		}
+		if p := t.JT.Parent[i]; p >= 0 {
+			pe := t.JT.Nodes[p]
+			for _, v := range a.Schema {
+				if pe.Has(v) {
+					keep[v] = true
+				}
+			}
+		}
+		a = project(a, sortedVars(keep))
+		a.R.Dedup()
+		acc[i] = a
+	}
+	root := acc[t.JT.Root()]
+	out := project(root, q.Head)
+	out.R.Dedup()
+	return out.R.Tuples, nil
+}

@@ -1,0 +1,419 @@
+// Package database implements the finite relational structures of Section 2.1
+// of the paper: domains, relations, databases, their sizes ‖D‖ and degrees,
+// together with the basic relational operations (projection, selection,
+// join, semijoin) that the query engines build on.
+//
+// Values are interned integers. A Dictionary maps external strings to Values
+// so that databases over arbitrary constants can be loaded; all engines work
+// on Values only, matching the RAM model of Section 2.3 where the domain
+// comes with a linear order (here: the order on Value).
+package database
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a domain element. The linear order on the domain required by the
+// RAM model of Section 2.3.1 is the natural order on Value.
+type Value int64
+
+// Tuple is an ordered list of domain elements.
+type Tuple []Value
+
+// Clone returns a fresh copy of t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports whether t and u are the same tuple.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically; it returns -1, 0 or +1.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case t[i] < u[i]:
+			return -1
+		case t[i] > u[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// String renders the tuple as "(v1,v2,...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key returns a hashable projection of t onto the given columns. The
+// encoding is injective for fixed len(cols).
+func (t Tuple) Key(cols []int) string {
+	var b []byte
+	for _, c := range cols {
+		v := t[c]
+		b = append(b,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+// FullKey returns a hashable encoding of the entire tuple.
+func (t Tuple) FullKey() string {
+	cols := make([]int, len(t))
+	for i := range cols {
+		cols[i] = i
+	}
+	return t.Key(cols)
+}
+
+// Relation is a named finite relation: a set of tuples of fixed arity.
+type Relation struct {
+	Name   string
+	Arity  int
+	Tuples []Tuple
+
+	indexes map[string]*Index
+}
+
+// NewRelation creates an empty relation of the given name and arity.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity}
+}
+
+// FromTuples builds a relation from the given rows, deduplicating them.
+func FromTuples(name string, arity int, rows []Tuple) *Relation {
+	r := NewRelation(name, arity)
+	for _, t := range rows {
+		r.Insert(t)
+	}
+	r.Dedup()
+	return r
+}
+
+// Insert appends a tuple. Duplicates are permitted until Dedup is called;
+// the query engines always work on deduplicated relations.
+func (r *Relation) Insert(t Tuple) {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("database: relation %s has arity %d, got tuple of length %d", r.Name, r.Arity, len(t)))
+	}
+	r.Tuples = append(r.Tuples, t)
+	r.indexes = nil
+}
+
+// InsertValues is Insert with variadic values, convenient in tests.
+func (r *Relation) InsertValues(vs ...Value) {
+	r.Insert(Tuple(vs))
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Sort orders the tuples lexicographically.
+func (r *Relation) Sort() {
+	sort.Slice(r.Tuples, func(i, j int) bool {
+		return r.Tuples[i].Compare(r.Tuples[j]) < 0
+	})
+}
+
+// Dedup sorts the relation and removes duplicate tuples.
+func (r *Relation) Dedup() {
+	if len(r.Tuples) == 0 {
+		return
+	}
+	r.Sort()
+	out := r.Tuples[:1]
+	for _, t := range r.Tuples[1:] {
+		if !t.Equal(out[len(out)-1]) {
+			out = append(out, t)
+		}
+	}
+	r.Tuples = out
+	r.indexes = nil
+}
+
+// Contains reports whether the relation holds the given tuple.
+// It builds (and caches) a full-tuple index on first use.
+func (r *Relation) Contains(t Tuple) bool {
+	cols := make([]int, r.Arity)
+	for i := range cols {
+		cols[i] = i
+	}
+	idx := r.IndexOn(cols)
+	return len(idx.Lookup(t.Key(cols))) > 0
+}
+
+// Clone returns a deep copy of the relation (indexes are not copied).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Arity)
+	c.Tuples = make([]Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		c.Tuples[i] = t.Clone()
+	}
+	return c
+}
+
+// Index is a hash index of a relation's tuples keyed on a column subset.
+type Index struct {
+	Cols    []int
+	buckets map[string][]Tuple
+}
+
+// Lookup returns all indexed tuples whose key columns encode to key.
+func (ix *Index) Lookup(key string) []Tuple { return ix.buckets[key] }
+
+// LookupTuple projects probe onto probeCols and returns the matching bucket.
+func (ix *Index) LookupTuple(probe Tuple, probeCols []int) []Tuple {
+	return ix.buckets[probe.Key(probeCols)]
+}
+
+// Buckets returns the number of distinct keys in the index.
+func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+// IndexOn builds (or returns the cached) hash index on the given columns.
+func (r *Relation) IndexOn(cols []int) *Index {
+	sig := fmt.Sprint(cols)
+	if r.indexes == nil {
+		r.indexes = make(map[string]*Index)
+	}
+	if ix, ok := r.indexes[sig]; ok {
+		return ix
+	}
+	ix := &Index{Cols: append([]int(nil), cols...), buckets: make(map[string][]Tuple, len(r.Tuples))}
+	for _, t := range r.Tuples {
+		k := t.Key(cols)
+		ix.buckets[k] = append(ix.buckets[k], t)
+	}
+	r.indexes[sig] = ix
+	return ix
+}
+
+// Project returns a new deduplicated relation containing the projection of r
+// onto the given columns.
+func (r *Relation) Project(name string, cols []int) *Relation {
+	out := NewRelation(name, len(cols))
+	seen := make(map[string]bool, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := t.Key(cols)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		p := make(Tuple, len(cols))
+		for i, c := range cols {
+			p[i] = t[c]
+		}
+		out.Tuples = append(out.Tuples, p)
+	}
+	return out
+}
+
+// Select returns the sub-relation of tuples satisfying pred.
+func (r *Relation) Select(name string, pred func(Tuple) bool) *Relation {
+	out := NewRelation(name, r.Arity)
+	for _, t := range r.Tuples {
+		if pred(t) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Semijoin keeps the tuples of r that agree with at least one tuple of s on
+// the given column pairs (rCols[i] of r must equal sCols[i] of s). This is
+// the workhorse of the Yannakakis full reducer (Theorem 4.2).
+func Semijoin(r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
+	ix := s.IndexOn(sCols)
+	out := NewRelation(r.Name, r.Arity)
+	for _, t := range r.Tuples {
+		if len(ix.LookupTuple(t, rCols)) > 0 {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Join computes the natural join of r and s on the given column pairs. The
+// result columns are all of r's columns followed by s's columns not in sCols.
+func Join(name string, r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
+	ix := s.IndexOn(sCols)
+	skip := make(map[int]bool, len(sCols))
+	for _, c := range sCols {
+		skip[c] = true
+	}
+	var keep []int
+	for c := 0; c < s.Arity; c++ {
+		if !skip[c] {
+			keep = append(keep, c)
+		}
+	}
+	out := NewRelation(name, r.Arity+len(keep))
+	for _, t := range r.Tuples {
+		for _, u := range ix.LookupTuple(t, rCols) {
+			j := make(Tuple, 0, out.Arity)
+			j = append(j, t...)
+			for _, c := range keep {
+				j = append(j, u[c])
+			}
+			out.Tuples = append(out.Tuples, j)
+		}
+	}
+	return out
+}
+
+// Database is a finite relational structure (Section 2.1).
+type Database struct {
+	Relations map[string]*Relation
+	order     []string // insertion order, for deterministic iteration
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{Relations: make(map[string]*Relation)}
+}
+
+// AddRelation registers r under its name, replacing any previous relation of
+// that name.
+func (db *Database) AddRelation(r *Relation) {
+	if _, ok := db.Relations[r.Name]; !ok {
+		db.order = append(db.order, r.Name)
+	}
+	db.Relations[r.Name] = r
+}
+
+// Relation returns the named relation, or nil.
+func (db *Database) Relation(name string) *Relation { return db.Relations[name] }
+
+// Names returns the relation names in insertion order.
+func (db *Database) Names() []string { return append([]string(nil), db.order...) }
+
+// Domain returns the sorted active domain: every value occurring in some
+// tuple of some relation.
+func (db *Database) Domain() []Value {
+	seen := make(map[Value]bool)
+	for _, r := range db.Relations {
+		for _, t := range r.Tuples {
+			for _, v := range t {
+				seen[v] = true
+			}
+		}
+	}
+	dom := make([]Value, 0, len(seen))
+	for v := range seen {
+		dom = append(dom, v)
+	}
+	sort.Slice(dom, func(i, j int) bool { return dom[i] < dom[j] })
+	return dom
+}
+
+// Size computes ‖D‖ = |σ| + |Dom(D)| + Σ_R |R^D|·ar(R) as in Section 2.1.
+func (db *Database) Size() int {
+	n := len(db.Relations) + len(db.Domain())
+	for _, r := range db.Relations {
+		n += r.Len() * r.Arity
+	}
+	return n
+}
+
+// Degree returns deg(D) = max over domain elements x of the number of tuples
+// (over all relations) in which x occurs (Section 3.1).
+func (db *Database) Degree() int {
+	deg := make(map[Value]int)
+	for _, r := range db.Relations {
+		for _, t := range r.Tuples {
+			seen := make(map[Value]bool, len(t))
+			for _, v := range t {
+				if !seen[v] {
+					seen[v] = true
+					deg[v]++
+				}
+			}
+		}
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	for _, name := range db.order {
+		c.AddRelation(db.Relations[name].Clone())
+	}
+	return c
+}
+
+// Dictionary interns external string constants as Values, so text-format
+// data files can be loaded. Value 0 is reserved (never handed out) so
+// engines may use it as a sentinel such as the ⊥ of Theorem 4.8.
+type Dictionary struct {
+	toValue map[string]Value
+	toName  []string // toName[v-1] is the name of Value v
+}
+
+// NewDictionary creates an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{toValue: make(map[string]Value)}
+}
+
+// Intern returns the Value for name, assigning a fresh one if needed.
+func (d *Dictionary) Intern(name string) Value {
+	if v, ok := d.toValue[name]; ok {
+		return v
+	}
+	d.toName = append(d.toName, name)
+	v := Value(len(d.toName))
+	d.toValue[name] = v
+	return v
+}
+
+// Name returns the external name of v, or "?<v>" if v was never interned.
+func (d *Dictionary) Name(v Value) string {
+	i := int(v) - 1
+	if i < 0 || i >= len(d.toName) {
+		return fmt.Sprintf("?%d", v)
+	}
+	return d.toName[i]
+}
+
+// Len returns the number of interned names.
+func (d *Dictionary) Len() int { return len(d.toName) }

@@ -1,0 +1,176 @@
+// Package delay provides the enumeration framework of Section 2.3.3: an
+// Enumerator interface producing answers one by one, and instrumentation
+// measuring the preprocessing cost and the delay between consecutive
+// outputs, both in wall time and in counted RAM steps. The step counter
+// makes "constant delay" an observable quantity independent of cache and
+// allocator noise.
+package delay
+
+import (
+	"time"
+
+	"repro/internal/database"
+)
+
+// Enumerator produces the answers of a query one by one, with no
+// repetition. Next returns the next answer, or ok=false when exhausted.
+// The returned tuple may be overwritten by the following Next call; callers
+// that retain tuples must Clone them.
+type Enumerator interface {
+	Next() (t database.Tuple, ok bool)
+}
+
+// Func adapts a function to the Enumerator interface.
+type Func func() (database.Tuple, bool)
+
+// Next calls the function.
+func (f Func) Next() (database.Tuple, bool) { return f() }
+
+// Empty is an enumerator with no answers.
+func Empty() Enumerator {
+	return Func(func() (database.Tuple, bool) { return nil, false })
+}
+
+// Singleton yields exactly one answer (used for true Boolean queries, whose
+// single answer is the empty tuple).
+func Singleton(t database.Tuple) Enumerator {
+	done := false
+	return Func(func() (database.Tuple, bool) {
+		if done {
+			return nil, false
+		}
+		done = true
+		return t, true
+	})
+}
+
+// Slice enumerates a materialized answer list.
+func Slice(ts []database.Tuple) Enumerator {
+	i := 0
+	return Func(func() (database.Tuple, bool) {
+		if i >= len(ts) {
+			return nil, false
+		}
+		t := ts[i]
+		i++
+		return t, true
+	})
+}
+
+// Collect drains an enumerator into a slice, cloning each answer.
+func Collect(e Enumerator) []database.Tuple {
+	var out []database.Tuple
+	for {
+		t, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t.Clone())
+	}
+}
+
+// Counter counts elementary RAM steps. Engines call Tick at each elementary
+// operation (index probe, cursor advance, comparison). A nil Counter is
+// valid and counts nothing, so instrumentation is zero-cost to disable.
+type Counter struct{ steps int64 }
+
+// Tick records n elementary steps.
+func (c *Counter) Tick(n int64) {
+	if c != nil {
+		c.steps += n
+	}
+}
+
+// Steps returns the number of recorded steps.
+func (c *Counter) Steps() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.steps
+}
+
+// Stats summarizes an instrumented enumeration run.
+type Stats struct {
+	Outputs int // number of answers produced
+
+	// Counted RAM steps.
+	PreprocessSteps int64 // steps before the enumerator was handed over
+	MaxDelaySteps   int64 // max steps between consecutive outputs (incl. first and exhaustion)
+	TotalSteps      int64 // total steps during enumeration
+
+	// Wall clock.
+	PreprocessTime time.Duration
+	MaxDelayTime   time.Duration
+	TotalTime      time.Duration
+}
+
+// Measure runs build (the preprocessing phase, which returns an enumerator
+// sharing the given counter) and drains the enumerator, recording
+// per-output delays. It reports the stats and the collected answers.
+func Measure(c *Counter, build func() Enumerator) (Stats, []database.Tuple) {
+	var s Stats
+	t0 := time.Now()
+	e := build()
+	s.PreprocessSteps = c.Steps()
+	s.PreprocessTime = time.Since(t0)
+
+	var out []database.Tuple
+	last := c.Steps()
+	lastT := time.Now()
+	for {
+		t, ok := e.Next()
+		now := c.Steps()
+		nowT := time.Now()
+		d := now - last
+		if d > s.MaxDelaySteps {
+			s.MaxDelaySteps = d
+		}
+		if dt := nowT.Sub(lastT); dt > s.MaxDelayTime {
+			s.MaxDelayTime = dt
+		}
+		last, lastT = now, nowT
+		if !ok {
+			break
+		}
+		s.Outputs++
+		out = append(out, t.Clone())
+	}
+	s.TotalSteps = c.Steps() - s.PreprocessSteps
+	s.TotalTime = time.Since(t0) - s.PreprocessTime
+	return s, out
+}
+
+// Dedup wraps an enumerator, filtering out tuples already produced. It is
+// used by union enumerators (Section 4.2); the memory grows with the output,
+// as permitted for enumeration algorithms.
+func Dedup(e Enumerator, c *Counter) Enumerator {
+	seen := make(map[string]bool)
+	return Func(func() (database.Tuple, bool) {
+		for {
+			t, ok := e.Next()
+			if !ok {
+				return nil, false
+			}
+			k := t.FullKey()
+			c.Tick(1)
+			if !seen[k] {
+				seen[k] = true
+				return t, true
+			}
+		}
+	})
+}
+
+// Concat chains enumerators one after the other.
+func Concat(es ...Enumerator) Enumerator {
+	i := 0
+	return Func(func() (database.Tuple, bool) {
+		for i < len(es) {
+			if t, ok := es[i].Next(); ok {
+				return t, true
+			}
+			i++
+		}
+		return nil, false
+	})
+}

@@ -1,0 +1,116 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/database"
+)
+
+func tuples(vals ...int64) []database.Tuple {
+	out := make([]database.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = database.Tuple{database.Value(v)}
+	}
+	return out
+}
+
+func TestEmptySingletonSlice(t *testing.T) {
+	if got := Collect(Empty()); len(got) != 0 {
+		t.Errorf("Empty yielded %v", got)
+	}
+	got := Collect(Singleton(database.Tuple{7}))
+	if len(got) != 1 || got[0][0] != 7 {
+		t.Errorf("Singleton: %v", got)
+	}
+	// Singleton is exhausted after one.
+	s := Singleton(database.Tuple{})
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Errorf("Singleton yielded twice")
+	}
+	if got := Collect(Slice(tuples(1, 2, 3))); len(got) != 3 || got[2][0] != 3 {
+		t.Errorf("Slice: %v", got)
+	}
+}
+
+func TestCollectClones(t *testing.T) {
+	// Collect must clone: an enumerator may reuse its output buffer.
+	buf := database.Tuple{0}
+	i := 0
+	e := Func(func() (database.Tuple, bool) {
+		if i >= 3 {
+			return nil, false
+		}
+		i++
+		buf[0] = database.Value(i)
+		return buf, true
+	})
+	got := Collect(e)
+	if got[0][0] != 1 || got[1][0] != 2 || got[2][0] != 3 {
+		t.Errorf("Collect did not clone: %v", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var nilc *Counter
+	nilc.Tick(5) // must not panic
+	if nilc.Steps() != 0 {
+		t.Errorf("nil counter steps")
+	}
+	c := &Counter{}
+	c.Tick(3)
+	c.Tick(4)
+	if c.Steps() != 7 {
+		t.Errorf("steps = %d", c.Steps())
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	c := &Counter{}
+	st, out := Measure(c, func() Enumerator {
+		c.Tick(10) // preprocessing work
+		i := 0
+		return Func(func() (database.Tuple, bool) {
+			if i >= 4 {
+				return nil, false
+			}
+			i++
+			c.Tick(int64(i)) // increasing delays: 1,2,3,4
+			return database.Tuple{database.Value(i)}, true
+		})
+	})
+	if st.PreprocessSteps != 10 {
+		t.Errorf("preprocess steps = %d", st.PreprocessSteps)
+	}
+	if st.Outputs != 4 || len(out) != 4 {
+		t.Errorf("outputs = %d", st.Outputs)
+	}
+	if st.MaxDelaySteps != 4 {
+		t.Errorf("max delay = %d, want 4", st.MaxDelaySteps)
+	}
+	if st.TotalSteps != 10 {
+		t.Errorf("total steps = %d, want 10", st.TotalSteps)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	e := Dedup(Slice(tuples(1, 2, 1, 3, 2, 1)), nil)
+	got := Collect(e)
+	if len(got) != 3 {
+		t.Fatalf("dedup: %v", got)
+	}
+	if got[0][0] != 1 || got[1][0] != 2 || got[2][0] != 3 {
+		t.Errorf("dedup order: %v", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	e := Concat(Slice(tuples(1, 2)), Empty(), Slice(tuples(3)))
+	got := Collect(e)
+	if len(got) != 3 || got[2][0] != 3 {
+		t.Errorf("concat: %v", got)
+	}
+	if got := Collect(Concat()); len(got) != 0 {
+		t.Errorf("empty concat: %v", got)
+	}
+}

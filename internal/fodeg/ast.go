@@ -1,0 +1,281 @@
+package fodeg
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Formula is first-order logic over a functional structure: unary
+// predicates applied to terms, and (dis)equalities between terms. An atom
+// with an undefined term is false.
+type Formula interface{ fof() }
+
+// Pr is a predicate atom P(t).
+type Pr struct {
+	Pred int // bitmap id
+	T    Term
+}
+
+// Eq is an equality t1 = t2 (true iff both sides are defined and equal).
+type Eq struct{ T1, T2 Term }
+
+// Not, Conj, Disj are the Boolean connectives.
+type Not struct{ F Formula }
+
+// Conjunction.
+type Conj struct{ Fs []Formula }
+
+// Disjunction.
+type Disj struct{ Fs []Formula }
+
+// Ex is ∃Var.F; All is ∀Var.F.
+type Ex struct {
+	Var string
+	F   Formula
+}
+
+// All is universal quantification.
+type All struct {
+	Var string
+	F   Formula
+}
+
+func (Pr) fof()   {}
+func (Eq) fof()   {}
+func (Not) fof()  {}
+func (Conj) fof() {}
+func (Disj) fof() {}
+func (Ex) fof()   {}
+func (All) fof()  {}
+
+// V returns the identity term on a variable.
+func V(name string) Term { return Term{Var: name} }
+
+// Ap applies function ids to a term (innermost first).
+func Ap(t Term, fs ...int) Term {
+	return Term{Var: t.Var, Path: append(append([]int(nil), t.Path...), fs...)}
+}
+
+// FreeVarsFOF returns the free variables of f in first-occurrence order.
+func FreeVarsFOF(f Formula) []string {
+	var out []string
+	seen := map[string]bool{}
+	bound := map[string]int{}
+	var rec func(g Formula)
+	add := func(t Term) {
+		if bound[t.Var] == 0 && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	rec = func(g Formula) {
+		switch h := g.(type) {
+		case Pr:
+			add(h.T)
+		case Eq:
+			add(h.T1)
+			add(h.T2)
+		case Not:
+			rec(h.F)
+		case Conj:
+			for _, x := range h.Fs {
+				rec(x)
+			}
+		case Disj:
+			for _, x := range h.Fs {
+				rec(x)
+			}
+		case Ex:
+			bound[h.Var]++
+			rec(h.F)
+			bound[h.Var]--
+		case All:
+			bound[h.Var]++
+			rec(h.F)
+			bound[h.Var]--
+		}
+	}
+	rec(f)
+	return out
+}
+
+// EvalNaive decides the formula under an assignment by brute force over
+// the domain — the ‖φ‖·n^h reference evaluator of Section 3's preamble.
+func (s *Structure) EvalNaive(f Formula, asg map[string]int) bool {
+	switch h := f.(type) {
+	case Pr:
+		v := h.T.evalAsg(s, asg)
+		return v >= 0 && s.preds[h.Pred][v]
+	case Eq:
+		a := h.T1.evalAsg(s, asg)
+		b := h.T2.evalAsg(s, asg)
+		return a >= 0 && b >= 0 && a == b
+	case Not:
+		return !s.EvalNaive(h.F, asg)
+	case Conj:
+		for _, x := range h.Fs {
+			if !s.EvalNaive(x, asg) {
+				return false
+			}
+		}
+		return true
+	case Disj:
+		for _, x := range h.Fs {
+			if s.EvalNaive(x, asg) {
+				return true
+			}
+		}
+		return false
+	case Ex:
+		old, had := asg[h.Var]
+		for a := 0; a < s.N; a++ {
+			asg[h.Var] = a
+			if s.EvalNaive(h.F, asg) {
+				restoreAsg(asg, h.Var, old, had)
+				return true
+			}
+		}
+		restoreAsg(asg, h.Var, old, had)
+		return false
+	case All:
+		old, had := asg[h.Var]
+		for a := 0; a < s.N; a++ {
+			asg[h.Var] = a
+			if !s.EvalNaive(h.F, asg) {
+				restoreAsg(asg, h.Var, old, had)
+				return false
+			}
+		}
+		restoreAsg(asg, h.Var, old, had)
+		return true
+	}
+	return false
+}
+
+func restoreAsg(asg map[string]int, v string, old int, had bool) {
+	if had {
+		asg[v] = old
+	} else {
+		delete(asg, v)
+	}
+}
+
+func (t Term) evalAsg(s *Structure, asg map[string]int) int {
+	a, ok := asg[t.Var]
+	if !ok {
+		return -1
+	}
+	return t.Eval(s, a)
+}
+
+// TranslateGraphFO translates a relational first-order formula over the
+// signature {E/2, unary predicates, =, ≠} into functional form: an atom
+// E(x,y) becomes ⋁_f f(x)=y over the edge-matching functions (and their
+// inverses), exactly the representation change of Section 3.1. Constants
+// and set variables are not supported.
+func (s *Structure) TranslateGraphFO(f logic.Formula) (Formula, error) {
+	edge := s.EdgeFuncIDs()
+	var rec func(g logic.Formula) (Formula, error)
+	termVar := func(t logic.Term) (string, error) {
+		if t.IsConst {
+			return "", fmt.Errorf("fodeg: constants not supported in translation")
+		}
+		return t.Var, nil
+	}
+	rec = func(g logic.Formula) (Formula, error) {
+		switch h := g.(type) {
+		case logic.FAtom:
+			if h.Pred == "E" {
+				if len(h.Args) != 2 {
+					return nil, fmt.Errorf("fodeg: E must be binary")
+				}
+				x, err := termVar(h.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				y, err := termVar(h.Args[1])
+				if err != nil {
+					return nil, err
+				}
+				var ds []Formula
+				for _, fid := range edge {
+					ds = append(ds, Eq{T1: Ap(V(x), fid), T2: V(y)})
+				}
+				if len(ds) == 0 {
+					// No edges at all: E is empty.
+					return Disj{}, nil
+				}
+				return Disj{Fs: ds}, nil
+			}
+			if len(h.Args) != 1 {
+				return nil, fmt.Errorf("fodeg: only E/2 and unary predicates supported, got %s/%d", h.Pred, len(h.Args))
+			}
+			id, ok := s.PredID(h.Pred)
+			if !ok {
+				return nil, fmt.Errorf("fodeg: unknown predicate %q", h.Pred)
+			}
+			x, err := termVar(h.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return Pr{Pred: id, T: V(x)}, nil
+		case logic.FComp:
+			x, err := termVar(h.L)
+			if err != nil {
+				return nil, err
+			}
+			y, err := termVar(h.R)
+			if err != nil {
+				return nil, err
+			}
+			switch h.Op {
+			case logic.EQ:
+				return Eq{T1: V(x), T2: V(y)}, nil
+			case logic.NEQ:
+				return Not{F: Eq{T1: V(x), T2: V(y)}}, nil
+			}
+			return nil, fmt.Errorf("fodeg: order comparisons not supported")
+		case logic.FNot:
+			inner, err := rec(h.F)
+			if err != nil {
+				return nil, err
+			}
+			return Not{F: inner}, nil
+		case logic.FAnd:
+			var fs []Formula
+			for _, x := range h.Fs {
+				y, err := rec(x)
+				if err != nil {
+					return nil, err
+				}
+				fs = append(fs, y)
+			}
+			return Conj{Fs: fs}, nil
+		case logic.FOr:
+			var fs []Formula
+			for _, x := range h.Fs {
+				y, err := rec(x)
+				if err != nil {
+					return nil, err
+				}
+				fs = append(fs, y)
+			}
+			return Disj{Fs: fs}, nil
+		case logic.FExists:
+			inner, err := rec(h.F)
+			if err != nil {
+				return nil, err
+			}
+			return Ex{Var: h.Var, F: inner}, nil
+		case logic.FForall:
+			inner, err := rec(h.F)
+			if err != nil {
+				return nil, err
+			}
+			return All{Var: h.Var, F: inner}, nil
+		}
+		return nil, fmt.Errorf("fodeg: unsupported construct %T", g)
+	}
+	return rec(f)
+}

@@ -1,0 +1,704 @@
+package fodeg
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/database"
+	"repro/internal/delay"
+)
+
+// This file implements the enumeration and counting phases of Theorem 3.2
+// on compiled (quantifier-free) formulas. Each conjunction is normalized
+// into a per-variable plan: every variable is either determined (pinned to
+// a term of an earlier variable, by injectivity of the functions) or ranges
+// over a precomputed bitmap minus at most k exception values — the
+// generalized Algorithm 1 of the paper. Counting uses inclusion–exclusion
+// over the exceptions (turning each exception into a pinning equality), so
+// it reduces to products of bitmap popcounts: f(‖φ‖)·n preprocessing and
+// O(f(‖φ‖)) arithmetic.
+
+// plan is the normalized form of one conjunction w.r.t. a variable order.
+type plan struct {
+	order []string
+	// For each order position: either det != nil (value = det term of an
+	// earlier variable) or a range bitmap + exceptions.
+	det        []*Term
+	bitmap     [][]bool
+	candidates [][]int // positions of set bits (for enumeration)
+	exceptions [][]Term
+	unsat      bool
+}
+
+// PullbackBits computes {a : path(a) defined ∧ bits[path(a)]}.
+func (s *Structure) PullbackBits(path []int, bits []bool) []bool {
+	out := make([]bool, s.N)
+	for a := 0; a < s.N; a++ {
+		v := Term{Path: path}.Eval(s, a)
+		if v >= 0 && bits[v] {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// normalizeConj turns a conjunction into a plan. It resolves
+// positive cross-variable equalities into determinations (injective
+// functions are invertible), pulls all unary conditions back to bitmaps,
+// and turns guarded negative equalities into value exceptions on the later
+// variable.
+func (s *Structure) normalizeConj(c CConj, order []string) (*plan, error) {
+	pos := map[string]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	p := &plan{order: order}
+	n := len(order)
+	p.det = make([]*Term, n)
+	conds := make([][][]bool, n) // bitmaps to intersect, per var
+	negs := make([][]bool, n)
+	p.exceptions = make([][]Term, n)
+
+	lits := append(CConj{}, c...)
+	det := map[string]Term{}
+	subst := func(t Term) Term {
+		for {
+			d, ok := det[t.Var]
+			if !ok {
+				return t
+			}
+			t = Term{Var: d.Var, Path: append(append([]int(nil), d.Path...), t.Path...)}
+		}
+	}
+	// Determination fixpoint.
+	for iter := 0; ; iter++ {
+		if iter > len(c)+n+8 {
+			return nil, fmt.Errorf("fodeg: normalization did not converge")
+		}
+		changed := false
+		for i := range lits {
+			lits[i].T1 = subst(lits[i].T1)
+			if lits[i].Pred < 0 {
+				lits[i].T2 = subst(lits[i].T2)
+			}
+		}
+		for i, l := range lits {
+			if l.Neg || l.Pred >= 0 || l.T1.Var == l.T2.Var {
+				continue
+			}
+			if _, ok := pos[l.T1.Var]; !ok {
+				return nil, fmt.Errorf("fodeg: unknown variable %q", l.T1.Var)
+			}
+			if _, ok := pos[l.T2.Var]; !ok {
+				return nil, fmt.Errorf("fodeg: unknown variable %q", l.T2.Var)
+			}
+			// Pin the later variable.
+			early, late := l.T1, l.T2
+			if pos[early.Var] > pos[late.Var] {
+				early, late = late, early
+			}
+			pin := Term{Var: early.Var, Path: append(append([]int(nil), early.Path...), s.InversePath(late.Path)...)}
+			det[late.Var] = pin
+			// Definedness of the pin, recorded as a condition on early.
+			lits[i] = Lit{Pred: s.internBitmap(s.PullbackPred(pin.Path, -1)), T1: V(early.Var)}
+			changed = true
+			break
+		}
+		if !changed {
+			break
+		}
+	}
+	// Record determinations.
+	for v, t := range det {
+		tt := t
+		p.det[pos[v]] = &tt
+	}
+	// Classify remaining literals.
+	for _, l := range lits {
+		switch {
+		case l.Pred >= 0:
+			i := pos[l.T1.Var]
+			conds[i] = append(conds[i], s.PullbackPred(l.T1.Path, l.Pred))
+			negs[i] = append(negs[i], l.Neg)
+		case l.T1.Var == l.T2.Var:
+			i := pos[l.T1.Var]
+			conds[i] = append(conds[i], s.EqBitmap(l.T1.Path, l.T2.Path, !l.Neg))
+			negs[i] = append(negs[i], false)
+		default:
+			// Negative cross equality: by injectivity it is exactly the
+			// exception "later-var ≠ τ(earlier-var)", with an undefined τ
+			// excluding nothing (see eliminate).
+			if !l.Neg {
+				return nil, fmt.Errorf("fodeg: unresolved positive equality")
+			}
+			t1, t2 := l.T1, l.T2
+			if pos[t1.Var] < pos[t2.Var] {
+				t1, t2 = t2, t1
+			}
+			exc := Term{Var: t2.Var, Path: append(append([]int(nil), t2.Path...), s.InversePath(t1.Path)...)}
+			p.exceptions[pos[t1.Var]] = append(p.exceptions[pos[t1.Var]], exc)
+		}
+	}
+	// A condition recorded against a determined variable is a bug in the
+	// substitution loop; exceptions likewise.
+	p.bitmap = make([][]bool, n)
+	p.candidates = make([][]int, n)
+	for i := range order {
+		if p.det[i] != nil {
+			if len(conds[i]) > 0 || len(p.exceptions[i]) > 0 {
+				return nil, fmt.Errorf("fodeg: internal: residual condition on determined variable %q", order[i])
+			}
+			continue
+		}
+		var bm []bool
+		if len(conds[i]) == 0 {
+			bm = make([]bool, s.N)
+			for j := range bm {
+				bm[j] = true
+			}
+		} else {
+			bm = AndBitmaps(s.N, conds[i], negs[i])
+		}
+		p.bitmap[i] = bm
+		for j, b := range bm {
+			if b {
+				p.candidates[i] = append(p.candidates[i], j)
+			}
+		}
+		if len(p.candidates[i]) == 0 {
+			p.unsat = true
+		}
+	}
+	return p, nil
+}
+
+// canonicalizeAndMerge folds the unary literals of each conjunction into
+// one bitmap per variable and repeatedly merges conjunctions that agree on
+// everything except a single variable's bitmap (taking the union of the two
+// bitmaps). This keeps the inclusion–exclusion over conjunctions feasible:
+// e.g. the compiled form of ¬∃y(E(x,y)∧P(y)) is a large disjunction of
+// unary constraints on x that collapses into a single bitmap.
+func (s *Structure) canonicalizeAndMerge(d CDNF, vars []string) (CDNF, error) {
+	type canon struct {
+		cross []Lit    // cross-variable literals, sorted by key
+		bm    [][]bool // per variable (aligned with vars); nil = unconstrained
+	}
+	pos := map[string]int{}
+	for i, v := range vars {
+		pos[v] = i
+	}
+	var cs []canon
+	for _, c := range d {
+		cc := canon{bm: make([][]bool, len(vars))}
+		for _, l := range c {
+			unaryVar := ""
+			var bits []bool
+			switch {
+			case l.Pred >= 0:
+				unaryVar = l.T1.Var
+				bits = s.PullbackPred(l.T1.Path, l.Pred)
+				if l.Neg {
+					bits = notBits(bits)
+				}
+			case l.T1.Var == l.T2.Var:
+				unaryVar = l.T1.Var
+				bits = s.EqBitmap(l.T1.Path, l.T2.Path, !l.Neg)
+			default:
+				cc.cross = append(cc.cross, l)
+				continue
+			}
+			i, ok := pos[unaryVar]
+			if !ok {
+				return nil, fmt.Errorf("fodeg: unknown variable %q", unaryVar)
+			}
+			if cc.bm[i] == nil {
+				cc.bm[i] = bits
+			} else {
+				cc.bm[i] = AndBitmaps(s.N, [][]bool{cc.bm[i], bits}, []bool{false, false})
+			}
+		}
+		sortLits(cc.cross)
+		cs = append(cs, cc)
+	}
+	bmKey := func(b []bool) string {
+		if b == nil {
+			return "*"
+		}
+		buf := make([]byte, len(b))
+		for i, x := range b {
+			if x {
+				buf[i] = 1
+			}
+		}
+		return string(buf)
+	}
+	crossKey := func(ls []Lit) string {
+		k := ""
+		for _, l := range ls {
+			k += litKey(l) + "|"
+		}
+		return k
+	}
+	// Merge fixpoint.
+	for {
+		merged := false
+		for vi := 0; vi < len(vars) && !merged; vi++ {
+			groups := map[string]int{}
+			for i := range cs {
+				key := crossKey(cs[i].cross)
+				for vj := range vars {
+					if vj == vi {
+						continue
+					}
+					key += bmKey(cs[i].bm[vj]) + ";"
+				}
+				if j, ok := groups[key]; ok {
+					// Merge i into j by OR-ing the vi bitmaps.
+					a, b := cs[j].bm[vi], cs[i].bm[vi]
+					if a == nil || b == nil {
+						cs[j].bm[vi] = nil
+					} else {
+						or := make([]bool, s.N)
+						for x := range or {
+							or[x] = a[x] || b[x]
+						}
+						cs[j].bm[vi] = or
+					}
+					cs = append(cs[:i], cs[i+1:]...)
+					merged = true
+					break
+				}
+				groups[key] = i
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	// Convert back to conjunctions.
+	var out CDNF
+	for _, cc := range cs {
+		var c CConj
+		c = append(c, cc.cross...)
+		ok := true
+		for i, b := range cc.bm {
+			if b == nil {
+				continue
+			}
+			id := s.internBitmap(b)
+			if s.counts[id] == 0 {
+				ok = false
+				break
+			}
+			c = append(c, Lit{Pred: id, T1: V(vars[i])})
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+func notBits(b []bool) []bool {
+	out := make([]bool, len(b))
+	for i, x := range b {
+		out[i] = !x
+	}
+	return out
+}
+
+func sortLits(ls []Lit) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && litKey(ls[j]) < litKey(ls[j-1]); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+// CountQF counts the satisfying assignments of a compiled DNF over the
+// given variable order, by inclusion–exclusion over (i) the DNF
+// conjunctions and (ii) the exception terms within each conjunction.
+func (s *Structure) CountQF(d CDNF, vars []string) (*big.Int, error) {
+	expanded, err := s.canonicalizeAndMerge(d, vars)
+	if err != nil {
+		return nil, err
+	}
+	if len(expanded) > 18 {
+		// Exact fallback: split on the values of the first variable and
+		// recurse. Costs O(n^{|vars|}·f(‖φ‖)) instead of f(‖φ‖)·n; used
+		// only when the symbolic inclusion–exclusion would blow up.
+		return s.countBySplitting(expanded, vars)
+	}
+	total := new(big.Int)
+	for mask := 1; mask < 1<<len(expanded); mask++ {
+		var merged CConj
+		bits := 0
+		for i := range expanded {
+			if mask&(1<<i) != 0 {
+				bits++
+				merged = append(merged, expanded[i]...)
+			}
+		}
+		cnt, err := s.countConj(merged, vars, 0)
+		if err != nil {
+			return nil, err
+		}
+		if bits%2 == 1 {
+			total.Add(total, cnt)
+		} else {
+			total.Sub(total, cnt)
+		}
+	}
+	return total, nil
+}
+
+// countConj counts one conjunction, recursing on exceptions:
+// #(C ∧ v≠τ) = #(C) − #(C ∧ v=τ).
+func (s *Structure) countConj(c CConj, vars []string, depth int) (*big.Int, error) {
+	if depth > 40 {
+		return nil, fmt.Errorf("fodeg: exception recursion too deep")
+	}
+	p, err := s.normalizeConj(c, vars)
+	if err != nil {
+		return nil, err
+	}
+	if p.unsat {
+		return new(big.Int), nil
+	}
+	// Find an exception to split on.
+	for i := range vars {
+		if len(p.exceptions[i]) > 0 {
+			exc := p.exceptions[i][0]
+			// Locate and remove one corresponding literal from c. The plan
+			// does not track lit identity, so rebuild: drop the first
+			// guarded cross negative equality whose later var is vars[i].
+			var without CConj
+			removed := false
+			var asEq Lit
+			for _, l := range c {
+				if !removed && l.Neg && l.Pred < 0 && l.T1.Var != l.T2.Var {
+					t1, t2 := l.T1, l.T2
+					if posOf(vars, t1.Var) < posOf(vars, t2.Var) {
+						t1, t2 = t2, t1
+					}
+					if t1.Var == vars[i] {
+						removed = true
+						asEq = Lit{Pred: -1, T1: l.T1, T2: l.T2}
+						continue
+					}
+				}
+				without = append(without, l)
+			}
+			if !removed {
+				return nil, fmt.Errorf("fodeg: internal: exception literal not found")
+			}
+			_ = exc
+			a, err := s.countConj(without, vars, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.countConj(append(append(CConj{}, without...), asEq), vars, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			return new(big.Int).Sub(a, b), nil
+		}
+	}
+	// No exceptions: product of range-bitmap popcounts.
+	out := big.NewInt(1)
+	for i := range vars {
+		if p.det[i] != nil {
+			continue
+		}
+		out.Mul(out, big.NewInt(int64(len(p.candidates[i]))))
+	}
+	return out, nil
+}
+
+// countBySplitting counts the union of conjunctions exactly by fixing the
+// first variable to each domain value, specializing every literal, and
+// recursing on the remaining variables.
+func (s *Structure) countBySplitting(d CDNF, vars []string) (*big.Int, error) {
+	if len(vars) == 0 {
+		// All literals are variable-free by now; a conjunction survives iff
+		// all its (constant) literals hold.
+		for _, c := range d {
+			ok := true
+			for _, l := range c {
+				if l.T1.Var != "" || (l.Pred < 0 && l.T2.Var != "") {
+					return nil, fmt.Errorf("fodeg: residual variable %q in split base", l.T1.Var)
+				}
+				if !s.EvalLit(l, nil) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return big.NewInt(1), nil
+			}
+		}
+		return new(big.Int), nil
+	}
+	v := vars[0]
+	total := new(big.Int)
+	for a := 0; a < s.N; a++ {
+		var spec CDNF
+		for _, c := range d {
+			sc, ok := s.specializeConj(c, v, a)
+			if ok {
+				spec = append(spec, sc)
+			}
+		}
+		if len(spec) == 0 {
+			continue
+		}
+		cnt, err := s.CountQF(spec, vars[1:])
+		if err != nil {
+			return nil, err
+		}
+		total.Add(total, cnt)
+	}
+	return total, nil
+}
+
+// specializeConj substitutes v := a in the conjunction; it returns ok=false
+// when a literal becomes constantly false.
+func (s *Structure) specializeConj(c CConj, v string, a int) (CConj, bool) {
+	var out CConj
+	for _, l := range c {
+		m1 := l.T1.Var == v
+		m2 := l.Pred < 0 && l.T2.Var == v
+		if !m1 && !m2 {
+			out = append(out, l)
+			continue
+		}
+		if l.Pred >= 0 {
+			// P(t(v)) becomes a constant.
+			w := l.T1.Eval(s, a)
+			val := w >= 0 && s.preds[l.Pred][w]
+			if l.Neg {
+				val = !val
+			}
+			if !val {
+				return nil, false
+			}
+			continue
+		}
+		// Equality with at least one side on v.
+		if m1 && m2 {
+			x := l.T1.Eval(s, a)
+			y := l.T2.Eval(s, a)
+			val := x >= 0 && y >= 0 && x == y
+			if l.Neg {
+				val = !val
+			}
+			if !val {
+				return nil, false
+			}
+			continue
+		}
+		vSide, other := l.T1, l.T2
+		if m2 {
+			vSide, other = l.T2, l.T1
+		}
+		w := vSide.Eval(s, a)
+		if w < 0 {
+			// Undefined side: the positive equality is false, the negated
+			// one true.
+			if !l.Neg {
+				return nil, false
+			}
+			continue
+		}
+		single := make([]bool, s.N)
+		single[w] = true
+		id := s.internBitmap(s.PullbackBits(other.Path, single))
+		out = append(out, Lit{Neg: l.Neg, Pred: id, T1: V(other.Var)})
+	}
+	return out, true
+}
+
+func posOf(vars []string, v string) int {
+	for i, w := range vars {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// EnumerateQF enumerates the satisfying assignments of a compiled DNF over
+// the given variable order with constant delay: range variables walk their
+// candidate lists skipping at most k exception values (injectivity bounds
+// the total number of skips chargeable to each output), determined
+// variables are computed in O(1), and duplicates across conjunctions are
+// suppressed by O(1) evaluation of the earlier conjunctions.
+func (s *Structure) EnumerateQF(d CDNF, vars []string, c *delay.Counter) (delay.Enumerator, error) {
+	var expanded []CConj
+	var plans []*plan
+	for _, cc := range d {
+		p, err := s.normalizeConj(cc, vars)
+		if err != nil {
+			return nil, err
+		}
+		if !p.unsat {
+			expanded = append(expanded, cc)
+			plans = append(plans, p)
+		}
+	}
+	e := &qfEnum{s: s, vars: vars, plans: plans, conjs: expanded, c: c, asg: make([]int, len(vars))}
+	return e, nil
+}
+
+type qfEnum struct {
+	s     *Structure
+	vars  []string
+	plans []*plan
+	conjs []CConj
+	c     *delay.Counter
+
+	pi      int   // current plan
+	cursor  []int // per level: index into candidates
+	asg     []int
+	level   int
+	started bool
+	out     database.Tuple
+}
+
+// Next produces the next assignment as a tuple over the variable order.
+func (e *qfEnum) Next() (database.Tuple, bool) {
+	for {
+		if e.pi >= len(e.plans) {
+			return nil, false
+		}
+		p := e.plans[e.pi]
+		if !e.started {
+			e.started = true
+			e.cursor = make([]int, len(e.vars))
+			for i := range e.cursor {
+				e.cursor[i] = -1
+			}
+			e.level = 0
+		}
+		if t, ok := e.advance(p); ok {
+			return t, true
+		}
+		e.pi++
+		e.started = false
+	}
+}
+
+// advance resumes the nested-loop walk of the current plan.
+func (e *qfEnum) advance(p *plan) (database.Tuple, bool) {
+	n := len(e.vars)
+	for e.level >= 0 {
+		i := e.level
+		if p.det[i] != nil {
+			if e.cursor[i] == -2 {
+				// Coming back up through a determined level: go up.
+				e.cursor[i] = -1
+				e.level--
+				continue
+			}
+			v := p.det[i].Eval(e.s, e.asg[posOf(e.vars, p.det[i].Var)])
+			e.c.Tick(1)
+			if v < 0 {
+				// Definedness was pushed to the root, so this cannot
+				// happen; defensive backtrack.
+				e.level--
+				continue
+			}
+			e.asg[i] = v
+			e.cursor[i] = -2
+			if i == n-1 {
+				if t, ok := e.emit(p); ok {
+					return t, true
+				}
+				e.cursor[i] = -1
+				e.level--
+				continue
+			}
+			e.level++
+			continue
+		}
+		// Range variable: advance to the next non-excepted candidate.
+		found := false
+		for e.cursor[i]++; e.cursor[i] < len(p.candidates[i]); e.cursor[i]++ {
+			v := p.candidates[i][e.cursor[i]]
+			e.c.Tick(1)
+			bad := false
+			for _, exc := range p.exceptions[i] {
+				w := exc.Eval(e.s, e.asg[posOf(e.vars, exc.Var)])
+				if w == v {
+					bad = true
+					break
+				}
+			}
+			if !bad {
+				e.asg[i] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			e.cursor[i] = -1
+			e.level--
+			continue
+		}
+		if i == n-1 {
+			if t, ok := e.emit(p); ok {
+				return t, true
+			}
+			continue // advance deepest again
+		}
+		e.level++
+	}
+	return nil, false
+}
+
+// emit checks duplicate suppression against earlier conjunctions and
+// produces the output tuple.
+func (e *qfEnum) emit(p *plan) (database.Tuple, bool) {
+	asg := map[string]int{}
+	for i, v := range e.vars {
+		asg[v] = e.asg[i]
+	}
+	for j := 0; j < e.pi; j++ {
+		e.c.Tick(1)
+		if e.s.EvalConj(e.conjs[j], asg) {
+			return nil, false // already produced by an earlier conjunction
+		}
+	}
+	if e.out == nil {
+		e.out = make(database.Tuple, len(e.vars))
+	}
+	for i := range e.vars {
+		e.out[i] = database.Value(e.asg[i])
+		e.c.Tick(1)
+	}
+	// Special case: with zero variables the plan yields one empty tuple.
+	if len(e.vars) == 0 {
+		e.pi = len(e.plans) // exhaust
+	}
+	return e.out, true
+}
+
+// Count counts |φ(D)| for a formula with the given free-variable order:
+// compile once (f(‖φ‖)·n), then count the quantifier-free form.
+func (s *Structure) Count(f Formula, vars []string) (*big.Int, error) {
+	d, err := s.Compile(f)
+	if err != nil {
+		return nil, err
+	}
+	return s.CountQF(d, vars)
+}
+
+// Enumerate enumerates φ(D) with constant delay after linear preprocessing
+// (Theorem 3.2).
+func (s *Structure) Enumerate(f Formula, vars []string, c *delay.Counter) (delay.Enumerator, error) {
+	d, err := s.Compile(f)
+	if err != nil {
+		return nil, err
+	}
+	return s.EnumerateQF(d, vars, c)
+}

@@ -1,0 +1,147 @@
+// Package graphs generates the graph and database families used by the
+// experiments: bounded-degree graphs (Section 3.1), the low-degree class of
+// Definition 3.8 (a clique of size k plus 2^k independent vertices), grids
+// (the Section 3.3 MSO lower-bound family), random bipartite graphs
+// (Equation 2), and random relational databases.
+package graphs
+
+import (
+	"math/rand"
+
+	"repro/internal/database"
+)
+
+// Edge is an undirected edge.
+type Edge [2]int
+
+// RandomBoundedDegree generates a graph on n vertices with maximum degree
+// at most d.
+func RandomBoundedDegree(rng *rand.Rand, n, d int) []Edge {
+	deg := make([]int, n)
+	var edges []Edge
+	seen := map[Edge]bool{}
+	for attempt := 0; attempt < 4*n*d; attempt++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || deg[a] >= d || deg[b] >= d {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		e := Edge{a, b}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		deg[a]++
+		deg[b]++
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) []Edge {
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{i, (i + 1) % n})
+	}
+	return edges
+}
+
+// Grid returns the (m,n)-grid of Section 3.3: vertices (i,j) numbered
+// i*n+j, edges between orthogonal neighbours.
+func Grid(m, n int) ([]Edge, int) {
+	var edges []Edge
+	id := func(i, j int) int { return i*n + j }
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < m {
+				edges = append(edges, Edge{id(i, j), id(i+1, j)})
+			}
+			if j+1 < n {
+				edges = append(edges, Edge{id(i, j), id(i, j+1)})
+			}
+		}
+	}
+	return edges, m * n
+}
+
+// CliquePlusIndependent builds the low-degree family of Definition 3.8: a
+// clique on k vertices plus 2^k isolated vertices — total n = k + 2^k
+// vertices with maximum degree k−1 = O(log n), yet not closed under
+// substructures.
+func CliquePlusIndependent(k int) ([]Edge, int) {
+	var edges []Edge
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	return edges, k + (1 << k)
+}
+
+// RandomBipartite returns a biadjacency matrix over n+n vertices with edge
+// probability p.
+func RandomBipartite(rng *rand.Rand, n int, p float64) [][]bool {
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+		for j := range adj[i] {
+			adj[i][j] = rng.Float64() < p
+		}
+	}
+	return adj
+}
+
+// EdgesToDB loads edges into a relational database as a symmetric binary
+// relation E over values 1..n (plus a unary relation V covering every
+// vertex so that the active domain is the full vertex set).
+func EdgesToDB(edges []Edge, n int) *database.Database {
+	db := database.NewDatabase()
+	e := database.NewRelation("E", 2)
+	for _, ed := range edges {
+		e.InsertValues(database.Value(ed[0]+1), database.Value(ed[1]+1))
+		e.InsertValues(database.Value(ed[1]+1), database.Value(ed[0]+1))
+	}
+	e.Dedup()
+	db.AddRelation(e)
+	v := database.NewRelation("V", 1)
+	for i := 1; i <= n; i++ {
+		v.InsertValues(database.Value(i))
+	}
+	db.AddRelation(v)
+	return db
+}
+
+// RandomRelation fills a fresh relation with random tuples over [1,dom].
+func RandomRelation(rng *rand.Rand, name string, arity, size, dom int) *database.Relation {
+	r := database.NewRelation(name, arity)
+	for i := 0; i < size; i++ {
+		t := make(database.Tuple, arity)
+		for j := range t {
+			t[j] = database.Value(rng.Intn(dom) + 1)
+		}
+		r.Insert(t)
+	}
+	r.Dedup()
+	return r
+}
+
+// Degree returns the maximum vertex degree of the edge list.
+func Degree(edges []Edge, n int) int {
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		if e[0] != e[1] {
+			deg[e[1]]++
+		}
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,72 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomBoundedDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 2, 4} {
+		edges := RandomBoundedDegree(rng, 50, d)
+		if got := Degree(edges, 50); got > d {
+			t.Errorf("degree %d exceeds bound %d", got, d)
+		}
+		if len(edges) == 0 {
+			t.Errorf("no edges generated for d=%d", d)
+		}
+	}
+}
+
+func TestCycleAndGrid(t *testing.T) {
+	c := Cycle(5)
+	if len(c) != 5 || Degree(c, 5) != 2 {
+		t.Errorf("cycle wrong: %v", c)
+	}
+	g, n := Grid(3, 4)
+	if n != 12 {
+		t.Fatalf("grid size %d", n)
+	}
+	// #edges = m(n-1) + n(m-1) = 3·3 + 4·2 = 17.
+	if len(g) != 17 {
+		t.Errorf("grid edges: %d, want 17", len(g))
+	}
+	if Degree(g, n) != 4 {
+		t.Errorf("grid max degree: %d, want 4", Degree(g, n))
+	}
+}
+
+func TestCliquePlusIndependent(t *testing.T) {
+	edges, n := CliquePlusIndependent(4)
+	if n != 4+16 {
+		t.Fatalf("n = %d", n)
+	}
+	if len(edges) != 6 {
+		t.Errorf("clique edges: %d, want 6", len(edges))
+	}
+	if Degree(edges, n) != 3 {
+		t.Errorf("degree: %d, want 3", Degree(edges, n))
+	}
+}
+
+func TestEdgesToDB(t *testing.T) {
+	db := EdgesToDB(Cycle(4), 4)
+	if db.Relation("E").Len() != 8 {
+		t.Errorf("symmetric closure: %d tuples, want 8", db.Relation("E").Len())
+	}
+	if len(db.Domain()) != 4 {
+		t.Errorf("domain: %v", db.Domain())
+	}
+}
+
+func TestRandomHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	adj := RandomBipartite(rng, 6, 0.5)
+	if len(adj) != 6 || len(adj[0]) != 6 {
+		t.Fatalf("bipartite shape wrong")
+	}
+	r := RandomRelation(rng, "R", 3, 20, 5)
+	if r.Arity != 3 || r.Len() == 0 || r.Len() > 20 {
+		t.Errorf("random relation wrong: %d tuples", r.Len())
+	}
+}

@@ -1,0 +1,192 @@
+package hypergraph
+
+import "sort"
+
+// SComponent is one S-component of a hypergraph (Definition 4.23): a set of
+// edges (by index into the original hypergraph) that are connected to each
+// other through paths avoiding S.
+type SComponent struct {
+	EdgeIdx []int // indices of member edges, sorted
+}
+
+// SComponents decomposes h into its S-components. Per Definition 4.23, only
+// edges e ⊄ S participate; two such edges lie in the same component iff
+// their parts outside S are connected in H[V−S].
+func SComponents(h *Hypergraph, s map[string]bool) []SComponent {
+	// Union-find over vertices of V−S: vertices are connected if they lie
+	// in a common edge (restricted to V−S).
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(v string) string {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range h.Edges {
+		out := e.Minus(s)
+		for _, v := range out {
+			if _, ok := parent[v]; !ok {
+				parent[v] = v
+			}
+		}
+		for i := 1; i < len(out); i++ {
+			union(out[0], out[i])
+		}
+	}
+	// Group edges ⊄ S by the root of (any vertex of) their outside part.
+	groups := make(map[string][]int)
+	var reps []string
+	for i, e := range h.Edges {
+		out := e.Minus(s)
+		if len(out) == 0 {
+			continue // e ⊆ S: not part of any S-component
+		}
+		r := find(out[0])
+		if _, ok := groups[r]; !ok {
+			reps = append(reps, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	sort.Strings(reps)
+	comps := make([]SComponent, 0, len(reps))
+	for _, r := range reps {
+		idx := groups[r]
+		sort.Ints(idx)
+		comps = append(comps, SComponent{EdgeIdx: idx})
+	}
+	return comps
+}
+
+// SVertices returns the sorted vertices of S that occur in the component's
+// edges.
+func (c SComponent) SVertices(h *Hypergraph, s map[string]bool) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, i := range c.EdgeIdx {
+		for _, v := range h.Edges[i].Vertices {
+			if s[v] && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IndependentSVertices returns a maximum independent set of S-vertices
+// within the component: a largest set of S-vertices no two of which occur
+// together in a component edge. Components arising from queries are small,
+// so exact branch-and-bound search is used.
+func (c SComponent) IndependentSVertices(h *Hypergraph, s map[string]bool) []string {
+	verts := c.SVertices(h, s)
+	// conflict[i][j]: vertices i and j share an edge.
+	n := len(verts)
+	pos := make(map[string]int, n)
+	for i, v := range verts {
+		pos[v] = i
+	}
+	conflict := make([][]bool, n)
+	for i := range conflict {
+		conflict[i] = make([]bool, n)
+	}
+	for _, ei := range c.EdgeIdx {
+		var members []int
+		for _, v := range h.Edges[ei].Vertices {
+			if i, ok := pos[v]; ok {
+				members = append(members, i)
+			}
+		}
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				conflict[members[a]][members[b]] = true
+				conflict[members[b]][members[a]] = true
+			}
+		}
+	}
+	var best []int
+	var cur []int
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) > len(best) {
+			best = append(best[:0], cur...)
+		}
+		if len(cur)+(n-start) <= len(best) {
+			return // cannot beat best
+		}
+		for i := start; i < n; i++ {
+			ok := true
+			for _, j := range cur {
+				if conflict[i][j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cur = append(cur, i)
+				rec(i + 1)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	rec(0)
+	out := make([]string, len(best))
+	for i, j := range best {
+		out[i] = verts[j]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SStarSize computes the S-star size of h (Definition 4.25): the maximum
+// size of an independent set of S-vertices over all S-components.
+func SStarSize(h *Hypergraph, s map[string]bool) int {
+	max := 0
+	for _, c := range SComponents(h, s) {
+		if k := len(c.IndependentSVertices(h, s)); k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// QuantifiedStarSize computes the quantified star size of an acyclic query
+// with free variables free (Definition 4.26): the S-star size with
+// S = free. Edges fully contained in S are ignored, per the convention of
+// Section 4.4; a query whose hypergraph has no edge leaving S has star
+// size 0 (it is quantifier-free up to isolated quantified variables) and is
+// reported as 1 so that "star size ≤ 1 ⇔ free-connex" holds uniformly.
+func QuantifiedStarSize(h *Hypergraph, free []string) int {
+	s := make(map[string]bool, len(free))
+	for _, v := range free {
+		s[v] = true
+	}
+	k := SStarSize(h, s)
+	if k == 0 {
+		return 1
+	}
+	return k
+}
+
+// FreeConnex reports whether an acyclic hypergraph with the given free
+// vertices is free-connex (Definition 4.4): H plus a fresh edge covering
+// exactly the free vertices is still acyclic. Queries with no free
+// variables (Boolean) are free-connex by definition.
+func FreeConnex(h *Hypergraph, free []string) bool {
+	if !IsAcyclic(h) {
+		return false
+	}
+	if len(free) == 0 {
+		return true
+	}
+	h2 := h.Clone()
+	h2.AddEdge(NewEdge("__head__", free...))
+	return IsAcyclic(h2)
+}

@@ -1,0 +1,123 @@
+package ineq
+
+import (
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+)
+
+// Theorem 4.15 ([69], Papadimitriou–Yannakakis): acyclic conjunctive
+// queries with order comparisons express k-clique, so evaluating ACQ< is
+// W[1]-complete. This file builds the reduction exactly as in Section 4.3:
+//
+// For a graph G = (V,E) with V = {0,...,n−1} and k ∈ ℕ, the database D has
+// domain elements [i,j,b] = (i+j)·n³ + |i−j|·n² + b·n + i for i,j ∈ V,
+// b ∈ {0,1}, and relations
+//
+//	P([i,j,0], [i,j,1])  iff (i,j) ∈ E (self-loops added for every i)
+//	R([i,j,1], [i,j',0]) for all i,j,j'
+//
+// and the acyclic query φ over variables x_ij, y_ij (1 ≤ i,j ≤ k):
+//
+//	⋀_{i,j} P(x_ij,y_ij) ∧ ⋀_{i, j<k} R(y_ij, x_i(j+1)) ∧
+//	⋀_{i<j} x_ij < x_ji < y_ij
+//
+// Then G has a k-clique iff D ⊨ φ: each chain i pins a vertex v_i, and the
+// sandwich x_ij < x_ji < y_ij forces x_ij = [v_i,v_j,0] with v_i < v_j, so
+// the P atoms require every pair (v_i,v_j) to be an edge.
+
+// Encode returns the domain element [i,j,b] for a graph on n vertices.
+func Encode(n, i, j, b int) database.Value {
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	n64 := int64(n)
+	return database.Value(int64(i+j)*n64*n64*n64 + int64(d)*n64*n64 + int64(b)*n64 + int64(i))
+}
+
+// CliqueReduction builds the database and query of Theorem 4.15 for the
+// (undirected) graph adj and clique size k.
+func CliqueReduction(adj [][]bool, k int) (*database.Database, *logic.CQ) {
+	n := len(adj)
+	db := database.NewDatabase()
+	p := database.NewRelation("P", 2)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || adj[i][j] || adj[j][i] {
+				p.InsertValues(Encode(n, i, j, 0), Encode(n, i, j, 1))
+			}
+		}
+	}
+	p.Dedup()
+	db.AddRelation(p)
+	r := database.NewRelation("R", 2)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for j2 := 0; j2 < n; j2++ {
+				r.InsertValues(Encode(n, i, j, 1), Encode(n, i, j2, 0))
+			}
+		}
+	}
+	r.Dedup()
+	db.AddRelation(r)
+
+	q := &logic.CQ{Name: fmt.Sprintf("clique%d", k)}
+	x := func(i, j int) string { return fmt.Sprintf("x_%d_%d", i, j) }
+	y := func(i, j int) string { return fmt.Sprintf("y_%d_%d", i, j) }
+	for i := 1; i <= k; i++ {
+		for j := 1; j <= k; j++ {
+			q.Atoms = append(q.Atoms, logic.NewAtom("P", x(i, j), y(i, j)))
+			if j < k {
+				q.Atoms = append(q.Atoms, logic.NewAtom("R", y(i, j), x(i, j+1)))
+			}
+		}
+	}
+	for i := 1; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			q.Comparisons = append(q.Comparisons,
+				logic.Comparison{Op: logic.LT, L: logic.V(x(i, j)), R: logic.V(x(j, i))},
+				logic.Comparison{Op: logic.LT, L: logic.V(x(j, i)), R: logic.V(y(i, j))})
+		}
+	}
+	return db, q
+}
+
+// HasCliqueBrute reports whether the graph has a k-clique, by exhaustive
+// search — the reference for the reduction.
+func HasCliqueBrute(adj [][]bool, k int) bool {
+	n := len(adj)
+	sel := make([]int, 0, k)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(sel) == k {
+			return true
+		}
+		for v := start; v < n; v++ {
+			ok := true
+			for _, u := range sel {
+				if !(adj[u][v] || adj[v][u]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sel = append(sel, v)
+				if rec(v + 1) {
+					return true
+				}
+				sel = sel[:len(sel)-1]
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// DecideClique runs the reduction end to end: it builds D and φ and decides
+// φ over D with the backtracking evaluator.
+func DecideClique(adj [][]bool, k int) (bool, error) {
+	db, q := CliqueReduction(adj, k)
+	return DecideBacktrack(db, q)
+}

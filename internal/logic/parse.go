@@ -1,0 +1,504 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/database"
+)
+
+// The text syntax:
+//
+// Conjunctive queries use rule syntax:
+//
+//	Q(x,y) :- R(x,z), S(z,y), !T(x), x != y, z < 5.
+//
+// Lower- or upper-case identifiers in term position are variables; numbers
+// are constants. A leading "!" negates an atom (NCQ). Unions of conjunctive
+// queries are rules separated by ";".
+//
+// First-order / MSO formulas:
+//
+//	exists y. (E(x,y) and not x = y)
+//	forall x. (x in X -> exists y. E(x,y))
+//	exists set X. forall x. (x in X or U(x))
+//
+// with connectives "and", "or", "not", "->", comparisons "=", "!=", "<",
+// "<=", membership "t in X", and constants "true" / "false".
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // ( ) , . ; :- ! = != < <= ->
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_' || l.src[l.pos] == '\'') {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos], start)
+		case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos], start)
+		default:
+			start := l.pos
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case ":-", "!=", "<=", "->":
+				l.pos += 2
+				l.emit(tokPunct, two, start)
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '.', ';', '!', '=', '<':
+				l.pos++
+				l.emit(tokPunct, string(c), start)
+			default:
+				return nil, fmt.Errorf("logic: unexpected character %q at offset %d", c, l.pos)
+			}
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) accept(text string) bool {
+	if p.peek().kind != tokEOF && p.peek().text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("logic: expected %q at offset %d, got %q", text, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+// ParseCQ parses a single conjunctive-query rule.
+func ParseCQ(src string) (*CQ, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseRule()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("logic: trailing input at offset %d", p.peek().pos)
+	}
+	return q, nil
+}
+
+// ParseUCQ parses one or more rules separated by ";". The rules may have
+// different names; they must have the same arity.
+func ParseUCQ(src string) (*UCQ, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	u := &UCQ{}
+	for {
+		q, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		if u.Name == "" {
+			u.Name = q.Name
+		}
+		u.Disjuncts = append(u.Disjuncts, q)
+		if !p.accept(";") {
+			break
+		}
+		if p.atEOF() {
+			break
+		}
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("logic: trailing input at offset %d", p.peek().pos)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func (p *parser) parseRule() (*CQ, error) {
+	head := p.next()
+	if head.kind != tokIdent {
+		return nil, fmt.Errorf("logic: expected rule head at offset %d", head.pos)
+	}
+	q := &CQ{Name: head.text}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		for {
+			v := p.next()
+			if v.kind != tokIdent {
+				return nil, fmt.Errorf("logic: head variables must be identifiers, got %q", v.text)
+			}
+			q.Head = append(q.Head, v.text)
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(":-"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.parseBodyItem(q); err != nil {
+			return nil, err
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	p.accept(".") // optional terminator
+	return q, nil
+}
+
+func (p *parser) parseBodyItem(q *CQ) error {
+	if p.accept("!") {
+		a, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		q.NegAtoms = append(q.NegAtoms, a)
+		return nil
+	}
+	// Either an atom Pred(...) or a comparison term op term.
+	if p.peek().kind == tokIdent && p.toks[p.i+1].text == "(" {
+		a, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		q.Atoms = append(q.Atoms, a)
+		return nil
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	op, err := p.parseCompOp()
+	if err != nil {
+		return err
+	}
+	r, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	q.Comparisons = append(q.Comparisons, Comparison{Op: op, L: l, R: r})
+	return nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	name := p.next()
+	if name.kind != tokIdent {
+		return Atom{}, fmt.Errorf("logic: expected predicate at offset %d", name.pos)
+	}
+	a := Atom{Pred: name.text}
+	if err := p.expect("("); err != nil {
+		return Atom{}, err
+	}
+	if p.accept(")") {
+		return a, nil
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.accept(")") {
+			return a, nil
+		}
+		if err := p.expect(","); err != nil {
+			return Atom{}, err
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		return V(t.text), nil
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("logic: bad number %q: %v", t.text, err)
+		}
+		return C(database.Value(n)), nil
+	}
+	return Term{}, fmt.Errorf("logic: expected term at offset %d, got %q", t.pos, t.text)
+}
+
+func (p *parser) parseCompOp() (CompOp, error) {
+	t := p.next()
+	switch t.text {
+	case "=":
+		return EQ, nil
+	case "!=":
+		return NEQ, nil
+	case "<":
+		return LT, nil
+	case "<=":
+		return LE, nil
+	}
+	return 0, fmt.Errorf("logic: expected comparison operator at offset %d, got %q", t.pos, t.text)
+}
+
+// ParseFormula parses a first-order / MSO formula.
+func ParseFormula(src string) (Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("logic: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return f, nil
+}
+
+func (p *parser) parseFormula() (Formula, error) {
+	if p.peek().kind == tokIdent && (p.peek().text == "exists" || p.peek().text == "forall") {
+		kw := p.next().text
+		isSet := false
+		if p.peek().kind == tokIdent && p.peek().text == "set" {
+			p.next()
+			isSet = true
+		}
+		var names []string
+		for p.peek().kind == tokIdent {
+			names = append(names, p.next().text)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("logic: %s needs at least one variable at offset %d", kw, p.peek().pos)
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		body, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		for i := len(names) - 1; i >= 0; i-- {
+			switch {
+			case kw == "exists" && isSet:
+				body = FExistsSet{Set: names[i], F: body}
+			case kw == "exists":
+				body = FExists{Var: names[i], F: body}
+			case isSet:
+				body = FForallSet{Set: names[i], F: body}
+			default:
+				body = FForall{Var: names[i], F: body}
+			}
+		}
+		return body, nil
+	}
+	return p.parseImplication()
+}
+
+func (p *parser) parseImplication() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("->") {
+		r, err := p.parseFormula() // right-associative; quantifiers allowed
+		if err != nil {
+			return nil, err
+		}
+		return Or(Not(l), r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{l}
+	for p.peek().kind == tokIdent && p.peek().text == "or" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, r)
+	}
+	return Or(fs...), nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{l}
+	for p.peek().kind == tokIdent && p.peek().text == "and" {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, r)
+	}
+	return And(fs...), nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	if p.peek().kind == tokIdent {
+		switch p.peek().text {
+		case "not":
+			p.next()
+			f, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return Not(f), nil
+		case "true":
+			p.next()
+			return And(), nil
+		case "false":
+			p.next()
+			return Or(), nil
+		case "exists", "forall":
+			return p.parseFormula()
+		}
+	}
+	if p.accept("(") {
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	// Atom, membership, or comparison.
+	if p.peek().kind == tokIdent && p.toks[p.i+1].text == "(" {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return FAtom{Pred: a.Pred, Args: a.Args}, nil
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokIdent && p.peek().text == "in" {
+		p.next()
+		set := p.next()
+		if set.kind != tokIdent {
+			return nil, fmt.Errorf("logic: expected set variable after 'in' at offset %d", set.pos)
+		}
+		return FMember{Set: set.text, Elem: l}, nil
+	}
+	op, err := p.parseCompOp()
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return FComp{Op: op, L: l, R: r}, nil
+}
+
+// MustParseCQ is ParseCQ panicking on error; for tests and examples.
+func MustParseCQ(src string) *CQ {
+	q, err := ParseCQ(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// MustParseUCQ is ParseUCQ panicking on error; for tests and examples.
+func MustParseUCQ(src string) *UCQ {
+	u, err := ParseUCQ(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// MustParseFormula is ParseFormula panicking on error; for tests and
+// examples.
+func MustParseFormula(src string) Formula {
+	f, err := ParseFormula(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// normalizeSpaces is used by tests comparing printed forms.
+func normalizeSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

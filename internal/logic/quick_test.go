@@ -1,0 +1,125 @@
+package logic
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/database"
+)
+
+// genCQ builds a query from fuzz bytes deterministically.
+func genCQ(spec []byte) *CQ {
+	q := &CQ{Name: "Q"}
+	if len(spec) == 0 {
+		spec = []byte{0}
+	}
+	numAtoms := int(spec[0]%3) + 1
+	vars := []string{"a", "b", "c", "d"}
+	at := 1
+	next := func() byte {
+		if at >= len(spec) {
+			at = 0
+		}
+		b := spec[at]
+		at++
+		return b
+	}
+	for i := 0; i < numAtoms; i++ {
+		arity := int(next()%3) + 1
+		a := Atom{Pred: fmt.Sprintf("R%d", i)}
+		for j := 0; j < arity; j++ {
+			if next()%5 == 0 {
+				a.Args = append(a.Args, C(database.Value(next()%4)))
+			} else {
+				a.Args = append(a.Args, V(vars[next()%4]))
+			}
+		}
+		q.Atoms = append(q.Atoms, a)
+	}
+	for _, v := range q.Vars() {
+		if next()%2 == 0 {
+			q.Head = append(q.Head, v)
+		}
+	}
+	if next()%3 == 0 {
+		q.Comparisons = append(q.Comparisons, Comparison{
+			Op: []CompOp{EQ, NEQ, LT, LE}[next()%4],
+			L:  V(vars[next()%4]),
+			R:  V(vars[next()%4]),
+		})
+	}
+	return q
+}
+
+// Property: String → ParseCQ is the identity on the printed form.
+func TestQuickCQRoundTrip(t *testing.T) {
+	f := func(spec []byte) bool {
+		q := genCQ(spec)
+		s := q.String()
+		q2, err := ParseCQ(s)
+		if err != nil {
+			return false
+		}
+		return q2.String() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the hypergraph vertex set equals atom variables ∪ head
+// variables (comparison atoms contribute no vertices, Definition 4.14).
+func TestQuickHypergraphVertices(t *testing.T) {
+	f := func(spec []byte) bool {
+		q := genCQ(spec)
+		hv := q.Hypergraph().Vertices()
+		qv := map[string]bool{}
+		for _, a := range q.Atoms {
+			for _, v := range a.Vars() {
+				qv[v] = true
+			}
+		}
+		for _, v := range q.Head {
+			qv[v] = true
+		}
+		if len(hv) != len(qv) {
+			return false
+		}
+		for _, v := range hv {
+			if !qv[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CQToFormula's free variables are exactly the head variables
+// (safe queries).
+func TestQuickCQToFormulaFreeVars(t *testing.T) {
+	f := func(spec []byte) bool {
+		q := genCQ(spec)
+		q.Comparisons = nil // comparisons may introduce head-only vars
+		fv := FreeVars(CQToFormula(q))
+		head := map[string]bool{}
+		for _, v := range q.Head {
+			head[v] = true
+		}
+		if len(fv) != len(head) {
+			return false
+		}
+		for _, v := range fv {
+			if !head[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,344 @@
+package mso
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Symbol is a tree-automaton input letter: a node label plus one bit per
+// variable track (free first- and second-order variables are encoded as
+// 0/1 annotations on the nodes, the classical MSO-to-automata encoding).
+type Symbol struct {
+	Label int
+	Bits  uint32
+}
+
+// transKey indexes transitions by child states (−1 = missing child) and
+// symbol.
+type transKey struct {
+	L, R int
+	Sym  Symbol
+}
+
+// TA is a (bottom-up, nondeterministic) tree automaton over binary trees.
+type TA struct {
+	NumStates int
+	Labels    int // alphabet size
+	K         int // number of variable tracks
+	Trans     map[transKey][]int
+	Accept    map[int]bool
+}
+
+func newTA(labels, k int) *TA {
+	return &TA{Labels: labels, K: k, Trans: map[transKey][]int{}, Accept: map[int]bool{}}
+}
+
+func (a *TA) addTrans(l, r int, sym Symbol, to int) {
+	k := transKey{L: l, R: r, Sym: sym}
+	a.Trans[k] = append(a.Trans[k], to)
+}
+
+// symbols enumerates the full alphabet.
+func (a *TA) symbols() []Symbol {
+	var out []Symbol
+	for lab := 0; lab < a.Labels; lab++ {
+		for bits := uint32(0); bits < 1<<a.K; bits++ {
+			out = append(out, Symbol{Label: lab, Bits: bits})
+		}
+	}
+	return out
+}
+
+// Cylindrify inserts a new (unconstrained) track at position pos.
+func (a *TA) Cylindrify(pos int) *TA {
+	out := newTA(a.Labels, a.K+1)
+	out.NumStates = a.NumStates
+	for q := range a.Accept {
+		out.Accept[q] = true
+	}
+	for k, tos := range a.Trans {
+		low := k.Sym.Bits & ((1 << pos) - 1)
+		high := k.Sym.Bits >> pos
+		for b := uint32(0); b <= 1; b++ {
+			sym := Symbol{Label: k.Sym.Label, Bits: low | b<<pos | high<<(pos+1)}
+			for _, to := range tos {
+				out.addTrans(k.L, k.R, sym, to)
+			}
+		}
+	}
+	return out
+}
+
+// Project removes track pos (the automaton for ∃X φ).
+func (a *TA) Project(pos int) *TA {
+	out := newTA(a.Labels, a.K-1)
+	out.NumStates = a.NumStates
+	for q := range a.Accept {
+		out.Accept[q] = true
+	}
+	for k, tos := range a.Trans {
+		low := k.Sym.Bits & ((1 << pos) - 1)
+		high := k.Sym.Bits >> (pos + 1)
+		sym := Symbol{Label: k.Sym.Label, Bits: low | high<<pos}
+		for _, to := range tos {
+			out.addTrans(k.L, k.R, sym, to)
+		}
+	}
+	return out
+}
+
+// Product is the intersection automaton (pair states, synchronized runs).
+func Product(a, b *TA) (*TA, error) {
+	if a.Labels != b.Labels || a.K != b.K {
+		return nil, fmt.Errorf("mso: product of incompatible automata (%d/%d labels, %d/%d tracks)", a.Labels, b.Labels, a.K, b.K)
+	}
+	out := newTA(a.Labels, a.K)
+	out.NumStates = a.NumStates * b.NumStates
+	pair := func(x, y int) int {
+		if x == -1 && y == -1 {
+			return -1
+		}
+		return x*b.NumStates + y
+	}
+	// Group b's transitions by (shape, symbol) for the join.
+	type shape struct {
+		L, R int
+		Sym  Symbol
+	}
+	bBy := map[shape][]transKey{}
+	for k := range b.Trans {
+		s := shape{L: boolToInt(k.L != -1), R: boolToInt(k.R != -1), Sym: k.Sym}
+		bBy[s] = append(bBy[s], k)
+	}
+	for ka, tosA := range a.Trans {
+		s := shape{L: boolToInt(ka.L != -1), R: boolToInt(ka.R != -1), Sym: ka.Sym}
+		for _, kb := range bBy[s] {
+			l := pairChild(ka.L, kb.L, b.NumStates)
+			r := pairChild(ka.R, kb.R, b.NumStates)
+			for _, ta := range tosA {
+				for _, tb := range b.Trans[kb] {
+					out.addTrans(l, r, ka.Sym, pair(ta, tb))
+				}
+			}
+		}
+	}
+	for qa := range a.Accept {
+		for qb := range b.Accept {
+			out.Accept[pair(qa, qb)] = true
+		}
+	}
+	return out, nil
+}
+
+func pairChild(x, y, nb int) int {
+	if x == -1 {
+		return -1
+	}
+	return x*nb + y
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Sum is the union automaton (disjoint sum of state spaces).
+func Sum(a, b *TA) (*TA, error) {
+	if a.Labels != b.Labels || a.K != b.K {
+		return nil, fmt.Errorf("mso: sum of incompatible automata")
+	}
+	out := newTA(a.Labels, a.K)
+	out.NumStates = a.NumStates + b.NumStates
+	for k, tos := range a.Trans {
+		for _, to := range tos {
+			out.addTrans(k.L, k.R, k.Sym, to)
+		}
+	}
+	shift := func(x int) int {
+		if x == -1 {
+			return -1
+		}
+		return x + a.NumStates
+	}
+	for k, tos := range b.Trans {
+		for _, to := range tos {
+			out.addTrans(shift(k.L), shift(k.R), k.Sym, shift(to))
+		}
+	}
+	for q := range a.Accept {
+		out.Accept[q] = true
+	}
+	for q := range b.Accept {
+		out.Accept[q+a.NumStates] = true
+	}
+	return out, nil
+}
+
+// Determinize runs the bottom-up subset construction, producing a complete
+// deterministic automaton (the empty subset is the sink).
+func (a *TA) Determinize() *TA {
+	type subset string // canonical key
+	canon := func(states []int) subset {
+		sort.Ints(states)
+		out := states[:0]
+		for i, s := range states {
+			if i == 0 || s != states[i-1] {
+				out = append(out, s)
+			}
+		}
+		b := make([]byte, 0, 4*len(out))
+		for _, s := range out {
+			b = append(b, byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
+		}
+		return subset(b)
+	}
+	members := func(ss subset) []int {
+		var out []int
+		b := []byte(ss)
+		for i := 0; i+3 < len(b); i += 4 {
+			out = append(out, int(b[i])<<24|int(b[i+1])<<16|int(b[i+2])<<8|int(b[i+3]))
+		}
+		return out
+	}
+	id := map[subset]int{}
+	var order []subset
+	intern := func(ss subset) int {
+		if i, ok := id[ss]; ok {
+			return i
+		}
+		i := len(order)
+		id[ss] = i
+		order = append(order, ss)
+		return i
+	}
+	syms := a.symbols()
+	out := newTA(a.Labels, a.K)
+	// Group source transitions by (childL present, childR present, sym).
+	delta := func(l, r []int, lPresent, rPresent bool, sym Symbol) []int {
+		var res []int
+		ls := []int{-1}
+		if lPresent {
+			ls = l
+		}
+		rs := []int{-1}
+		if rPresent {
+			rs = r
+		}
+		for _, x := range ls {
+			for _, y := range rs {
+				res = append(res, a.Trans[transKey{L: x, R: y, Sym: sym}]...)
+			}
+		}
+		return res
+	}
+	// Fixpoint over reachable subsets for all child shapes.
+	type pending struct {
+		l, r int // det states or -1
+	}
+	done := map[transKey]bool{}
+	for iter := 0; ; iter++ {
+		nDet := len(order)
+		var jobs []pending
+		jobs = append(jobs, pending{-1, -1})
+		for i := 0; i < nDet; i++ {
+			jobs = append(jobs, pending{i, -1}, pending{-1, i})
+			for j := 0; j < nDet; j++ {
+				jobs = append(jobs, pending{i, j})
+			}
+		}
+		progress := false
+		for _, jb := range jobs {
+			for _, sym := range syms {
+				k := transKey{L: jb.l, R: jb.r, Sym: sym}
+				if done[k] {
+					continue
+				}
+				done[k] = true
+				var lm, rm []int
+				if jb.l != -1 {
+					lm = members(order[jb.l])
+				}
+				if jb.r != -1 {
+					rm = members(order[jb.r])
+				}
+				target := canon(delta(lm, rm, jb.l != -1, jb.r != -1, sym))
+				ti := intern(target)
+				out.addTrans(jb.l, jb.r, sym, ti)
+				progress = true
+			}
+		}
+		if !progress && len(order) == nDet {
+			break
+		}
+	}
+	out.NumStates = len(order)
+	for ss, i := range id {
+		for _, q := range members(ss) {
+			if a.Accept[q] {
+				out.Accept[i] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Complement determinizes and flips acceptance.
+func (a *TA) Complement() *TA {
+	d := a.Determinize()
+	acc := map[int]bool{}
+	for q := 0; q < d.NumStates; q++ {
+		if !d.Accept[q] {
+			acc[q] = true
+		}
+	}
+	d.Accept = acc
+	return d
+}
+
+// Run computes the set of reachable states at every node of the tree under
+// the given track bits (bits[v] = the K-bit annotation of node v), in one
+// bottom-up pass — linear time for a fixed automaton.
+func (a *TA) Run(t *Tree, bits []uint32) [][]int {
+	states := make([][]int, t.N)
+	for _, v := range t.Postorder() {
+		sym := Symbol{Label: t.Label[v], Bits: bits[v]}
+		set := map[int]bool{}
+		ls := []int{-1}
+		if t.Left[v] != -1 {
+			ls = states[t.Left[v]]
+		}
+		rs := []int{-1}
+		if t.Right[v] != -1 {
+			rs = states[t.Right[v]]
+		}
+		for _, x := range ls {
+			for _, y := range rs {
+				for _, q := range a.Trans[transKey{L: x, R: y, Sym: sym}] {
+					set[q] = true
+				}
+			}
+		}
+		out := make([]int, 0, len(set))
+		for q := range set {
+			out = append(out, q)
+		}
+		sort.Ints(out)
+		states[v] = out
+	}
+	return states
+}
+
+// Accepts reports whether the automaton accepts the tree under the given
+// track bits.
+func (a *TA) Accepts(t *Tree, bits []uint32) bool {
+	states := a.Run(t, bits)
+	for _, q := range states[t.Root] {
+		if a.Accept[q] {
+			return true
+		}
+	}
+	return false
+}

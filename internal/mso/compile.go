@@ -1,0 +1,496 @@
+package mso
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Compiled is an MSO formula compiled to a tree automaton. Vars lists the
+// free variables in track order; FOVars marks which are first-order.
+type Compiled struct {
+	TA     *TA
+	Vars   []string
+	FOVars map[string]bool
+	Tree   *Tree
+}
+
+// Compile translates an MSO formula (logic.Formula over the tree signature:
+// unary label predicates, binary Left/Right/Child, = and ≠ between node
+// variables, and set membership) into a tree automaton over the tree's
+// alphabet — the effective version of Courcelle's theorem. First-order
+// variables are encoded as singleton set tracks; the singleton constraint
+// is conjoined at the binding site (and, for free variables, at the end).
+func Compile(t *Tree, f logic.Formula) (*Compiled, error) {
+	labels := len(t.Alphabet)
+	c := &compiler{t: t, labels: labels}
+	ta, vars, err := c.compile(f)
+	if err != nil {
+		return nil, err
+	}
+	fo := map[string]bool{}
+	for _, v := range logic.FreeVars(f) {
+		fo[v] = true
+	}
+	// Conjoin Sing for the free first-order variables.
+	for _, v := range vars {
+		if fo[v] {
+			pos := indexOfStr(vars, v)
+			s := singAutomaton(labels, len(vars), pos)
+			ta2, err := Product(ta, s)
+			if err != nil {
+				return nil, err
+			}
+			ta = ta2
+		}
+	}
+	return &Compiled{TA: ta, Vars: vars, FOVars: fo, Tree: t}, nil
+}
+
+type compiler struct {
+	t      *Tree
+	labels int
+}
+
+// compile returns an automaton over the sorted free-variable track list of
+// the subformula.
+func (c *compiler) compile(f logic.Formula) (*TA, []string, error) {
+	switch h := f.(type) {
+	case logic.FAtom:
+		return c.atom(h)
+	case logic.FComp:
+		x, y, err := varPair(h.L, h.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		vars := sortedPair(x, y)
+		if x == y {
+			// x = x is true; x ≠ x is false.
+			ta := trueAutomaton(c.labels, 1)
+			if h.Op == logic.NEQ {
+				ta.Accept = map[int]bool{}
+			} else if h.Op != logic.EQ {
+				return nil, nil, fmt.Errorf("mso: order comparisons not supported on trees")
+			}
+			return ta, []string{x}, nil
+		}
+		switch h.Op {
+		case logic.EQ:
+			return eqAutomaton(c.labels, indexOfStr(vars, x), indexOfStr(vars, y)), vars, nil
+		case logic.NEQ:
+			return eqAutomaton(c.labels, indexOfStr(vars, x), indexOfStr(vars, y)).Complement(), vars, nil
+		}
+		return nil, nil, fmt.Errorf("mso: order comparisons not supported on trees")
+	case logic.FMember:
+		if h.Elem.IsConst {
+			return nil, nil, fmt.Errorf("mso: constants not supported")
+		}
+		x, set := h.Elem.Var, h.Set
+		if x == set {
+			return nil, nil, fmt.Errorf("mso: variable %q used as both element and set", x)
+		}
+		vars := sortedPair(x, set)
+		return subsetAutomaton(c.labels, indexOfStr(vars, x), indexOfStr(vars, set)), vars, nil
+	case logic.FNot:
+		ta, vars, err := c.compile(h.F)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ta.Complement(), vars, nil
+	case logic.FAnd:
+		return c.combine(h.Fs, Product, true)
+	case logic.FOr:
+		return c.combine(h.Fs, Sum, false)
+	case logic.FExists:
+		return c.quantify(h.Var, h.F, true, false)
+	case logic.FForall:
+		return c.quantify(h.Var, h.F, true, true)
+	case logic.FExistsSet:
+		return c.quantify(h.Set, h.F, false, false)
+	case logic.FForallSet:
+		return c.quantify(h.Set, h.F, false, true)
+	}
+	return nil, nil, fmt.Errorf("mso: unsupported construct %T", f)
+}
+
+// combine aligns tracks and folds with op. empty And = true, empty Or =
+// false.
+func (c *compiler) combine(fs []logic.Formula, op func(a, b *TA) (*TA, error), and bool) (*TA, []string, error) {
+	ta := trueAutomaton(c.labels, 0)
+	if !and {
+		ta.Accept = map[int]bool{}
+	}
+	var vars []string
+	for _, f := range fs {
+		tb, vb, err := c.compile(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		merged := mergeVars(vars, vb)
+		ta = cylindrifyTo(ta, vars, merged)
+		tb = cylindrifyTo(tb, vb, merged)
+		vars = merged
+		nt, err := op(ta, tb)
+		if err != nil {
+			return nil, nil, err
+		}
+		ta = nt
+	}
+	return ta, vars, nil
+}
+
+func mergeVars(a, b []string) []string {
+	set := map[string]bool{}
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cylindrifyTo inserts tracks so that ta over vars matches target (a sorted
+// superset).
+func cylindrifyTo(ta *TA, vars, target []string) *TA {
+	out := ta
+	cur := append([]string(nil), vars...)
+	for i, v := range target {
+		if i < len(cur) && cur[i] == v {
+			continue
+		}
+		out = out.Cylindrify(i)
+		cur = append(cur[:i], append([]string{v}, cur[i:]...)...)
+	}
+	return out
+}
+
+// quantify compiles Qv.f: conjoin Sing for first-order v, then project v's
+// track; universal quantifiers go through double complement.
+func (c *compiler) quantify(v string, f logic.Formula, firstOrder, universal bool) (*TA, []string, error) {
+	ta, vars, err := c.compile(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if universal {
+		ta = ta.Complement()
+	}
+	pos := indexOfStr(vars, v)
+	if pos == -1 {
+		// v does not occur: Qv.f ≡ f over a nonempty tree (FO) or any tree
+		// (SO: the empty set always exists).
+		if universal {
+			ta = ta.Complement()
+		}
+		return ta, vars, nil
+	}
+	if firstOrder {
+		s := singAutomaton(c.labels, len(vars), pos)
+		ta2, err := Product(ta, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		ta = ta2
+	}
+	ta = ta.Project(pos)
+	outVars := append(append([]string(nil), vars[:pos]...), vars[pos+1:]...)
+	if universal {
+		ta = ta.Complement()
+	}
+	return ta, outVars, nil
+}
+
+// atom compiles label and structural atoms.
+func (c *compiler) atom(h logic.FAtom) (*TA, []string, error) {
+	switch h.Pred {
+	case "Left", "Right", "Child":
+		if len(h.Args) != 2 {
+			return nil, nil, fmt.Errorf("mso: %s must be binary", h.Pred)
+		}
+		x, y, err := varPair(h.Args[0], h.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if x == y {
+			// A node is never its own child.
+			ta := trueAutomaton(c.labels, 1)
+			ta.Accept = map[int]bool{}
+			return ta, []string{x}, nil
+		}
+		vars := sortedPair(x, y)
+		px, py := indexOfStr(vars, x), indexOfStr(vars, y)
+		switch h.Pred {
+		case "Left":
+			return childAutomaton(c.labels, px, py, true, false), vars, nil
+		case "Right":
+			return childAutomaton(c.labels, px, py, false, true), vars, nil
+		default:
+			return childAutomaton(c.labels, px, py, true, true), vars, nil
+		}
+	case "Root":
+		if len(h.Args) != 1 || h.Args[0].IsConst {
+			return nil, nil, fmt.Errorf("mso: Root takes one variable")
+		}
+		return rootAutomaton(c.labels), []string{h.Args[0].Var}, nil
+	case "Leaf":
+		if len(h.Args) != 1 || h.Args[0].IsConst {
+			return nil, nil, fmt.Errorf("mso: Leaf takes one variable")
+		}
+		return leafAutomaton(c.labels), []string{h.Args[0].Var}, nil
+	default:
+		// Unary label predicate.
+		if len(h.Args) != 1 {
+			return nil, nil, fmt.Errorf("mso: unknown predicate %s/%d", h.Pred, len(h.Args))
+		}
+		if h.Args[0].IsConst {
+			return nil, nil, fmt.Errorf("mso: constants not supported")
+		}
+		lab, ok := c.t.LabelID(h.Pred)
+		if !ok {
+			return nil, nil, fmt.Errorf("mso: unknown label %q", h.Pred)
+		}
+		return labelAutomaton(c.labels, lab), []string{h.Args[0].Var}, nil
+	}
+}
+
+func varPair(a, b logic.Term) (string, string, error) {
+	if a.IsConst || b.IsConst {
+		return "", "", fmt.Errorf("mso: constants not supported")
+	}
+	return a.Var, b.Var, nil
+}
+
+func sortedPair(x, y string) []string {
+	if x == y {
+		return []string{x}
+	}
+	if x < y {
+		return []string{x, y}
+	}
+	return []string{y, x}
+}
+
+func indexOfStr(vs []string, v string) int {
+	for i, w := range vs {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// ----- base automata -----
+
+// trueAutomaton accepts everything (one state).
+func trueAutomaton(labels, k int) *TA {
+	a := newTA(labels, k)
+	a.NumStates = 1
+	a.Accept[0] = true
+	for _, sym := range a.symbols() {
+		for _, l := range []int{-1, 0} {
+			for _, r := range []int{-1, 0} {
+				a.addTrans(l, r, sym, 0)
+			}
+		}
+	}
+	return a
+}
+
+// singAutomaton accepts iff track pos holds exactly one 1.
+func singAutomaton(labels, k, pos int) *TA {
+	a := newTA(labels, k)
+	a.NumStates = 2
+	a.Accept[1] = true
+	st := func(x int) int {
+		if x == -1 {
+			return 0
+		}
+		return x
+	}
+	for _, sym := range a.symbols() {
+		bit := int(sym.Bits >> pos & 1)
+		for _, l := range []int{-1, 0, 1} {
+			for _, r := range []int{-1, 0, 1} {
+				sum := st(l) + st(r) + bit
+				if sum <= 1 {
+					a.addTrans(l, r, sym, sum)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// labelAutomaton accepts iff every node with a 1 on track 0 carries the
+// given label (set semantics of Lab_a; singletons give the FO atom).
+func labelAutomaton(labels, lab int) *TA {
+	a := newTA(labels, 1)
+	a.NumStates = 1
+	a.Accept[0] = true
+	for _, sym := range a.symbols() {
+		if sym.Bits&1 == 1 && sym.Label != lab {
+			continue
+		}
+		for _, l := range []int{-1, 0} {
+			for _, r := range []int{-1, 0} {
+				a.addTrans(l, r, sym, 0)
+			}
+		}
+	}
+	return a
+}
+
+// eqAutomaton accepts iff tracks px and py agree everywhere.
+func eqAutomaton(labels, px, py int) *TA {
+	a := newTA(labels, 2)
+	a.NumStates = 1
+	a.Accept[0] = true
+	for _, sym := range a.symbols() {
+		if sym.Bits>>px&1 != sym.Bits>>py&1 {
+			continue
+		}
+		for _, l := range []int{-1, 0} {
+			for _, r := range []int{-1, 0} {
+				a.addTrans(l, r, sym, 0)
+			}
+		}
+	}
+	return a
+}
+
+// subsetAutomaton accepts iff track px ⊆ track py (for singleton px this is
+// membership x ∈ Y).
+func subsetAutomaton(labels, px, py int) *TA {
+	a := newTA(labels, 2)
+	a.NumStates = 1
+	a.Accept[0] = true
+	for _, sym := range a.symbols() {
+		if sym.Bits>>px&1 == 1 && sym.Bits>>py&1 == 0 {
+			continue
+		}
+		for _, l := range []int{-1, 0} {
+			for _, r := range []int{-1, 0} {
+				a.addTrans(l, r, sym, 0)
+			}
+		}
+	}
+	return a
+}
+
+// childAutomaton accepts (for singleton tracks) iff the py-node is a child
+// of the px-node on an allowed side. States: 0 = nothing seen,
+// 1 = y at the root of the processed subtree, 2 = pair matched.
+func childAutomaton(labels, px, py int, allowLeft, allowRight bool) *TA {
+	a := newTA(labels, 2)
+	a.NumStates = 3
+	a.Accept[2] = true
+	st := func(x int) int {
+		if x == -1 {
+			return 0
+		}
+		return x
+	}
+	for _, sym := range a.symbols() {
+		bx := sym.Bits>>px&1 == 1
+		by := sym.Bits>>py&1 == 1
+		for _, l := range []int{-1, 0, 1, 2} {
+			for _, r := range []int{-1, 0, 1, 2} {
+				sl, sr := st(l), st(r)
+				// y pending at a child must be consumed here by x on an
+				// allowed side; otherwise reject.
+				pendingLeft := sl == 1
+				pendingRight := sr == 1
+				matched := sl == 2 || sr == 2
+				if sl == 2 && sr == 2 {
+					continue // singleton tracks cannot match twice
+				}
+				var next int
+				switch {
+				case bx:
+					// x here: must consume a pending y on an allowed side.
+					ok := (pendingLeft && allowLeft && !pendingRight) ||
+						(pendingRight && allowRight && !pendingLeft)
+					if !ok || matched || by {
+						continue
+					}
+					next = 2
+				case pendingLeft || pendingRight:
+					continue // y's parent is not x
+				case by:
+					if matched {
+						continue
+					}
+					next = 1
+				case matched:
+					next = 2
+				default:
+					next = 0
+				}
+				a.addTrans(l, r, sym, next)
+			}
+		}
+	}
+	return a
+}
+
+// rootAutomaton accepts iff the single 1 on track 0 sits at the tree root.
+// States: 0 = no bit yet, 1 = bit strictly inside, 2 = bit at subtree root.
+func rootAutomaton(labels int) *TA {
+	a := newTA(labels, 1)
+	a.NumStates = 3
+	a.Accept[2] = true
+	st := func(x int) int {
+		if x == -1 {
+			return 0
+		}
+		return x
+	}
+	for _, sym := range a.symbols() {
+		bit := sym.Bits&1 == 1
+		for _, l := range []int{-1, 0, 1, 2} {
+			for _, r := range []int{-1, 0, 1, 2} {
+				sl, sr := st(l), st(r)
+				seenBelow := sl != 0 || sr != 0
+				if sl != 0 && sr != 0 {
+					continue
+				}
+				switch {
+				case bit && seenBelow:
+					continue
+				case bit:
+					a.addTrans(l, r, sym, 2)
+				case seenBelow:
+					a.addTrans(l, r, sym, 1)
+				default:
+					a.addTrans(l, r, sym, 0)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// leafAutomaton accepts iff every 1 on track 0 sits at a leaf.
+func leafAutomaton(labels int) *TA {
+	a := newTA(labels, 1)
+	a.NumStates = 1
+	a.Accept[0] = true
+	for _, sym := range a.symbols() {
+		bit := sym.Bits&1 == 1
+		for _, l := range []int{-1, 0} {
+			for _, r := range []int{-1, 0} {
+				if bit && (l != -1 || r != -1) {
+					continue
+				}
+				a.addTrans(l, r, sym, 0)
+			}
+		}
+	}
+	return a
+}

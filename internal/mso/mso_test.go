@@ -1,0 +1,313 @@
+package mso
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+)
+
+// relationalView encodes the tree as a relational database for the naive
+// logic evaluator: binary Left/Right/Child, unary label relations, and
+// unary Root/Leaf. Node i is value i+1.
+func relationalView(t *Tree) *database.Database {
+	db := database.NewDatabase()
+	left := database.NewRelation("Left", 2)
+	right := database.NewRelation("Right", 2)
+	child := database.NewRelation("Child", 2)
+	for v := 0; v < t.N; v++ {
+		if c := t.Left[v]; c != -1 {
+			left.InsertValues(database.Value(v+1), database.Value(c+1))
+			child.InsertValues(database.Value(v+1), database.Value(c+1))
+		}
+		if c := t.Right[v]; c != -1 {
+			right.InsertValues(database.Value(v+1), database.Value(c+1))
+			child.InsertValues(database.Value(v+1), database.Value(c+1))
+		}
+	}
+	db.AddRelation(left)
+	db.AddRelation(right)
+	db.AddRelation(child)
+	for li, name := range t.Alphabet {
+		r := database.NewRelation(name, 1)
+		for v := 0; v < t.N; v++ {
+			if t.Label[v] == li {
+				r.InsertValues(database.Value(v + 1))
+			}
+		}
+		db.AddRelation(r)
+	}
+	root := database.NewRelation("Root", 1)
+	root.InsertValues(database.Value(t.Root + 1))
+	db.AddRelation(root)
+	leaf := database.NewRelation("Leaf", 1)
+	for v := 0; v < t.N; v++ {
+		if t.Left[v] == -1 && t.Right[v] == -1 {
+			leaf.InsertValues(database.Value(v + 1))
+		}
+	}
+	db.AddRelation(leaf)
+	return db
+}
+
+var alphabet = []string{"a", "b"}
+
+func TestTreeBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := RandomTree(rng, 12, alphabet)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Postorder()); got != 12 {
+		t.Errorf("postorder covers %d nodes", got)
+	}
+	p := Path(5, []int{0, 1, 0, 1, 0}, alphabet)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.LabelID("b"); !ok {
+		t.Errorf("label lookup failed")
+	}
+	bad := NewTree(2, alphabet)
+	bad.Root = 0
+	// node 1 unattached: invalid.
+	if err := bad.Validate(); err == nil {
+		t.Errorf("disconnected tree must be invalid")
+	}
+}
+
+var sentences = []string{
+	"exists x. a(x)",
+	"forall x. (a(x) or b(x))",
+	"exists x. exists y. (Left(x,y) and b(y))",
+	"exists x. exists y. (Right(x,y) and a(x) and a(y))",
+	"exists x. not exists y. Child(x,y)",
+	"forall x. (Leaf(x) -> a(x))",
+	"exists x. (Root(x) and b(x))",
+	"exists x. exists y. (Child(x,y) and x = y)",
+	"exists set X. forall x. x in X",
+	"forall set X. exists x. x in X",
+	"exists set X. (exists x. x in X and forall y. (y in X -> a(y)))",
+	"forall set X. ((forall x. (Root(x) -> x in X)) and (forall x. forall y. (x in X and Child(x,y) -> y in X)) -> forall x. x in X)",
+}
+
+func TestModelCheckAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(5)
+		tr := RandomTree(rng, n, alphabet)
+		db := relationalView(tr)
+		for _, src := range sentences {
+			f := logic.MustParseFormula(src)
+			want := logic.Eval(db, f, logic.Interpretation{})
+			got, err := ModelCheck(tr, f)
+			if err != nil {
+				t.Fatalf("trial %d %q: %v", trial, src, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d %q: automaton=%v naive=%v (tree labels %v left %v right %v)",
+					trial, src, got, want, tr.Label, tr.Left, tr.Right)
+			}
+		}
+	}
+}
+
+var openFormulas = []string{
+	"a(x)",
+	"exists y. (Child(x,y) and b(y))",
+	"not exists y. Child(x,y)",
+	"Left(x,y)",
+	"x in X and a(x)",
+	"forall y. (y in X -> a(y))",
+	"exists y. (y in X and Left(y,x))",
+}
+
+func TestCountAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(4)
+		tr := RandomTree(rng, n, alphabet)
+		db := relationalView(tr)
+		for _, src := range openFormulas {
+			f := logic.MustParseFormula(src)
+			want := logic.CountMixed(db, f)
+			got, err := Count(tr, f)
+			if err != nil {
+				t.Fatalf("trial %d %q: %v", trial, src, err)
+			}
+			if got.Cmp(big.NewInt(int64(want))) != 0 {
+				t.Fatalf("trial %d %q: automaton=%s naive=%d (n=%d)", trial, src, got, want, n)
+			}
+		}
+	}
+}
+
+func TestEnumerateAgainstCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + rng.Intn(4)
+		tr := RandomTree(rng, n, alphabet)
+		db := relationalView(tr)
+		for _, src := range openFormulas {
+			f := logic.MustParseFormula(src)
+			e, err := Enumerate(tr, f, nil)
+			if err != nil {
+				t.Fatalf("%q: %v", src, err)
+			}
+			answers := CollectAnswers(e)
+			cnt, err := Count(tr, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cnt.Cmp(big.NewInt(int64(len(answers)))) != 0 {
+				t.Fatalf("trial %d %q: enumerated %d, count %s", trial, src, len(answers), cnt)
+			}
+			// No duplicates, and every answer satisfies the formula.
+			seen := map[string]bool{}
+			for _, a := range answers {
+				key := fmt.Sprint(a.FO, a.Sets)
+				if seen[key] {
+					t.Fatalf("%q: duplicate answer %v", src, a)
+				}
+				seen[key] = true
+				in := logic.Interpretation{FirstOrder: logic.Assignment{}, Sets: logic.SetAssignment{}}
+				for v, node := range a.FO {
+					in.FirstOrder[v] = database.Value(node + 1)
+				}
+				for v, set := range a.Sets {
+					m := map[database.Value]bool{}
+					for _, node := range set {
+						m[database.Value(node+1)] = true
+					}
+					in.Sets[v] = m
+				}
+				if !logic.Eval(db, f, in) {
+					t.Fatalf("trial %d %q: invalid answer %v", trial, src, a)
+				}
+			}
+		}
+	}
+}
+
+// The §3.3.1 example: two disjoint solutions of linear size each, showing
+// that MSO enumeration delay must account for the output length. We model
+// it on a path tree: X = the set of a-labelled nodes or the set of
+// b-labelled nodes of a bipartitioned path, via a formula forcing X to be a
+// label class.
+func TestTwoDisjointSolutions(t *testing.T) {
+	n := 12
+	labels := make([]int, n)
+	for i := range labels {
+		if i >= n/2 {
+			labels[i] = 1
+		}
+	}
+	tr := Path(n, labels, alphabet)
+	// X is nonempty, label-homogeneous, and maximal: exactly the two label
+	// classes (each of size n/2) when both labels occur.
+	f := logic.MustParseFormula(
+		"(forall x. (x in X -> a(x)) and forall y. (a(y) -> y in X) and exists z. z in X) or " +
+			"(forall x. (x in X -> b(x)) and forall y. (b(y) -> y in X) and exists z. z in X)")
+	e, err := Enumerate(tr, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := CollectAnswers(e)
+	if len(answers) != 2 {
+		t.Fatalf("want exactly 2 solutions, got %d", len(answers))
+	}
+	for _, a := range answers {
+		if len(a.Sets["X"]) != n/2 {
+			t.Errorf("solution size %d, want %d", len(a.Sets["X"]), n/2)
+		}
+	}
+	// The two solutions are disjoint.
+	inFirst := map[int]bool{}
+	for _, v := range answers[0].Sets["X"] {
+		inFirst[v] = true
+	}
+	for _, v := range answers[1].Sets["X"] {
+		if inFirst[v] {
+			t.Errorf("solutions are not disjoint at node %d", v)
+		}
+	}
+}
+
+// Linear scaling sanity: model checking time per node is flat (Courcelle).
+func TestModelCheckScalesLinearly(t *testing.T) {
+	f := logic.MustParseFormula("forall x. (Leaf(x) -> exists y. Child(y,x))")
+	for _, n := range []int{100, 1000} {
+		labels := make([]int, n)
+		tr := Path(n, labels, alphabet)
+		got, err := ModelCheck(tr, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every leaf (the last node) has a parent, except in the n=1 tree.
+		if !got {
+			t.Errorf("n=%d: expected true", n)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tr := Path(3, []int{0, 0, 0}, alphabet)
+	for _, src := range []string{
+		"exists x. c(x)",     // unknown label
+		"exists x. R(x,y,z)", // unknown predicate arity
+		"exists x. x < 3",    // order comparison... constant too
+		"exists x. x in x",   // var as both element and set
+	} {
+		f, err := logic.ParseFormula(src)
+		if err != nil {
+			continue // parse-level rejection is fine
+		}
+		if _, err := Compile(tr, f); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestAutomatonPrimitives(t *testing.T) {
+	// Sing: exactly one node marked.
+	tr := Path(4, []int{0, 1, 0, 1}, alphabet)
+	s := singAutomaton(len(alphabet), 1, 0)
+	bits := make([]uint32, 4)
+	if s.Accepts(tr, bits) {
+		t.Errorf("empty track must not be singleton")
+	}
+	bits[2] = 1
+	if !s.Accepts(tr, bits) {
+		t.Errorf("single mark must be accepted")
+	}
+	bits[0] = 1
+	if s.Accepts(tr, bits) {
+		t.Errorf("two marks must be rejected")
+	}
+	// Complement flips.
+	comp := s.Complement()
+	if comp.Accepts(tr, []uint32{0, 0, 1, 0}) {
+		t.Errorf("complement accepted a singleton")
+	}
+	if !comp.Accepts(tr, []uint32{1, 0, 1, 0}) {
+		t.Errorf("complement rejected a non-singleton")
+	}
+	// Sum accepts union.
+	never := newTA(len(alphabet), 1)
+	u, err := Sum(s, never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Accepts(tr, []uint32{0, 1, 0, 0}) {
+		t.Errorf("sum lost acceptance")
+	}
+	if _, err := Sum(s, newTA(len(alphabet), 2)); err == nil {
+		t.Errorf("mismatched sum must fail")
+	}
+	if _, err := Product(s, newTA(3, 1)); err == nil {
+		t.Errorf("mismatched product must fail")
+	}
+}

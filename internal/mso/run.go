@@ -1,0 +1,327 @@
+package mso
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/delay"
+	"repro/internal/logic"
+)
+
+// ModelCheck decides D ⊨ φ for an MSO sentence over the tree in time
+// f(‖φ‖)·n (Courcelle's theorem, Theorem 3.11): compile once, then one
+// bottom-up automaton pass.
+func ModelCheck(t *Tree, f logic.Formula) (bool, error) {
+	if len(logic.FreeVars(f)) > 0 || len(logic.FreeSetVars(f)) > 0 {
+		return false, fmt.Errorf("mso: ModelCheck needs a sentence")
+	}
+	c, err := Compile(t, f)
+	if err != nil {
+		return false, err
+	}
+	bits := make([]uint32, t.N)
+	return c.TA.Accepts(t, bits), nil
+}
+
+// Answer is one solution of an MSO query: node values for the free
+// first-order variables and node sets for the free set variables.
+type Answer struct {
+	FO   map[string]int
+	Sets map[string][]int
+}
+
+// Count returns |φ(D)| = |{(ā,Ā) : D ⊨ φ(ā,Ā)}| by determinizing the
+// compiled automaton and counting accepted track labelings with one
+// bottom-up dynamic-programming pass — the counting part of Theorem 3.12
+// (see also [6]).
+func Count(t *Tree, f logic.Formula) (*big.Int, error) {
+	c, err := Compile(t, f)
+	if err != nil {
+		return nil, err
+	}
+	det := c.TA.Determinize()
+	cnt := countDP(det, t)
+	total := new(big.Int)
+	for q, n := range cnt[t.Root] {
+		if det.Accept[q] {
+			total.Add(total, n)
+		}
+	}
+	return total, nil
+}
+
+// countDP computes, for every node v and state q, the number of bit
+// annotations of subtree(v) that drive the deterministic automaton to q.
+func countDP(det *TA, t *Tree) []map[int]*big.Int {
+	cnt := make([]map[int]*big.Int, t.N)
+	for _, v := range t.Postorder() {
+		m := map[int]*big.Int{}
+		lcnt := map[int]*big.Int{-1: big.NewInt(1)}
+		if t.Left[v] != -1 {
+			lcnt = cnt[t.Left[v]]
+		}
+		rcnt := map[int]*big.Int{-1: big.NewInt(1)}
+		if t.Right[v] != -1 {
+			rcnt = cnt[t.Right[v]]
+		}
+		for bits := uint32(0); bits < 1<<det.K; bits++ {
+			sym := Symbol{Label: t.Label[v], Bits: bits}
+			for ql, nl := range lcnt {
+				for qr, nr := range rcnt {
+					tos := det.Trans[transKey{L: ql, R: qr, Sym: sym}]
+					if len(tos) == 0 {
+						continue
+					}
+					q := tos[0] // deterministic
+					prod := new(big.Int).Mul(nl, nr)
+					if prev, ok := m[q]; ok {
+						m[q] = prev.Add(prev, prod)
+					} else {
+						m[q] = prod
+					}
+				}
+			}
+		}
+		cnt[v] = m
+	}
+	return cnt
+}
+
+// Enumerate produces the answers of an MSO query one by one. Preprocessing
+// is one compilation plus one counting pass; the delay is O(n·f(‖φ‖)) —
+// linear in the maximal output size, as in the first part of Theorem 3.12
+// (a solution assigns sets of nodes, so merely writing it can take Ω(n)).
+func Enumerate(t *Tree, f logic.Formula, c *delay.Counter) (*AnswerEnum, error) {
+	comp, err := Compile(t, f)
+	if err != nil {
+		return nil, err
+	}
+	det := comp.TA.Determinize()
+	cnt := countDP(det, t)
+	// Productive states per node.
+	prod := make([]map[int]bool, t.N)
+	for v := range cnt {
+		prod[v] = map[int]bool{}
+		for q, n := range cnt[v] {
+			if n.Sign() > 0 {
+				prod[v][q] = true
+			}
+		}
+	}
+	var roots []int
+	for q := range cnt[t.Root] {
+		if det.Accept[q] {
+			roots = append(roots, q)
+		}
+	}
+	pre := preorder(t)
+	e := &AnswerEnum{
+		comp: comp, det: det, t: t, prod: prod, c: c,
+		rootChoices: roots, pre: pre,
+		options: make([][]option, t.N),
+		cursor:  make([]int, t.N),
+		need:    make([]int, t.N),
+		bits:    make([]uint32, t.N),
+	}
+	return e, nil
+}
+
+func preorder(t *Tree) []int {
+	out := make([]int, 0, t.N)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == -1 {
+			return
+		}
+		out = append(out, v)
+		rec(t.Left[v])
+		rec(t.Right[v])
+	}
+	rec(t.Root)
+	return out
+}
+
+// option is one way to realize a required state at a node.
+type option struct {
+	bits   uint32
+	ql, qr int
+}
+
+// AnswerEnum enumerates MSO answers via a tree-shaped odometer: every node
+// carries a cursor over the (state-dependent) ways to realize its required
+// state; advancing the deepest cursor and re-seeding the later ones yields
+// the next annotation.
+type AnswerEnum struct {
+	comp *Compiled
+	det  *TA
+	t    *Tree
+	prod []map[int]bool
+	c    *delay.Counter
+
+	rootChoices []int
+	rootIdx     int
+	pre         []int
+	options     [][]option // per node, for the current required state
+	cursor      []int
+	need        []int // required state per node
+	bits        []uint32
+	started     bool
+	dead        bool
+}
+
+// optionsFor lists the realizations of state q at node v.
+func (e *AnswerEnum) optionsFor(v, q int) []option {
+	var out []option
+	lp := map[int]bool{-1: true}
+	if e.t.Left[v] != -1 {
+		lp = e.prod[e.t.Left[v]]
+	}
+	rp := map[int]bool{-1: true}
+	if e.t.Right[v] != -1 {
+		rp = e.prod[e.t.Right[v]]
+	}
+	for bits := uint32(0); bits < 1<<e.det.K; bits++ {
+		sym := Symbol{Label: e.t.Label[v], Bits: bits}
+		for ql := range lp {
+			for qr := range rp {
+				tos := e.det.Trans[transKey{L: ql, R: qr, Sym: sym}]
+				if len(tos) == 1 && tos[0] == q {
+					out = append(out, option{bits: bits, ql: ql, qr: qr})
+				}
+				e.c.Tick(1)
+			}
+		}
+	}
+	return out
+}
+
+// seed initializes node at preorder position i (and implicitly its
+// children's requirements) with its first option.
+func (e *AnswerEnum) seed(i int) bool {
+	v := e.pre[i]
+	e.options[v] = e.optionsFor(v, e.need[v])
+	e.cursor[v] = 0
+	if len(e.options[v]) == 0 {
+		return false
+	}
+	e.apply(v)
+	return true
+}
+
+// apply pushes node v's current option into its bits and its children's
+// requirements.
+func (e *AnswerEnum) apply(v int) {
+	op := e.options[v][e.cursor[v]]
+	e.bits[v] = op.bits
+	if e.t.Left[v] != -1 {
+		e.need[e.t.Left[v]] = op.ql
+	}
+	if e.t.Right[v] != -1 {
+		e.need[e.t.Right[v]] = op.qr
+	}
+	e.c.Tick(1)
+}
+
+// Next returns the next answer, or nil when exhausted.
+func (e *AnswerEnum) Next() (*Answer, bool) {
+	if e.dead {
+		return nil, false
+	}
+	n := len(e.pre)
+	if !e.started {
+		e.started = true
+		if !e.seedFromRoot() {
+			e.dead = true
+			return nil, false
+		}
+		return e.emit(), true
+	}
+	// Advance the deepest movable cursor.
+	i := n - 1
+	for i >= 0 {
+		v := e.pre[i]
+		e.cursor[v]++
+		e.c.Tick(1)
+		if e.cursor[v] < len(e.options[v]) {
+			e.apply(v)
+			break
+		}
+		i--
+	}
+	if i < 0 {
+		// Current root state exhausted; move to the next accepting state.
+		if !e.nextRoot() {
+			e.dead = true
+			return nil, false
+		}
+		return e.emit(), true
+	}
+	for j := i + 1; j < n; j++ {
+		if !e.seed(j) {
+			// Should not happen: options are productivity-filtered.
+			e.dead = true
+			return nil, false
+		}
+	}
+	return e.emit(), true
+}
+
+func (e *AnswerEnum) seedFromRoot() bool {
+	for e.rootIdx < len(e.rootChoices) {
+		e.need[e.t.Root] = e.rootChoices[e.rootIdx]
+		ok := true
+		for j := 0; j < len(e.pre); j++ {
+			if !e.seed(j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		e.rootIdx++
+	}
+	return false
+}
+
+func (e *AnswerEnum) nextRoot() bool {
+	e.rootIdx++
+	return e.seedFromRoot()
+}
+
+// emit decodes the current bit annotation into an Answer.
+func (e *AnswerEnum) emit() *Answer {
+	a := &Answer{FO: map[string]int{}, Sets: map[string][]int{}}
+	for pos, name := range e.comp.Vars {
+		if e.comp.FOVars[name] {
+			for v := 0; v < e.t.N; v++ {
+				if e.bits[v]>>pos&1 == 1 {
+					a.FO[name] = v
+				}
+				e.c.Tick(1)
+			}
+		} else {
+			var set []int
+			for v := 0; v < e.t.N; v++ {
+				if e.bits[v]>>pos&1 == 1 {
+					set = append(set, v)
+				}
+				e.c.Tick(1)
+			}
+			a.Sets[name] = set
+		}
+	}
+	return a
+}
+
+// CollectAnswers drains an AnswerEnum.
+func CollectAnswers(e *AnswerEnum) []*Answer {
+	var out []*Answer
+	for {
+		a, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}

@@ -1,0 +1,202 @@
+package ncq
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/database"
+)
+
+// Lit is a CNF literal: a variable index (1-based) with sign.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// CNF is a propositional formula in conjunctive normal form over variables
+// 1..N.
+type CNF struct {
+	N       int
+	Clauses []Clause
+}
+
+// ToCSP encodes the CNF as the negative constraint network of Section 4.5:
+// domain {0,1}, and one constraint per clause forbidding its unique
+// falsifying assignment ("each disjunctive clause is represented by a
+// negative atom ¬R(x̄) for which the associated relation R contains only
+// one element").
+func (f *CNF) ToCSP() *CSP {
+	c := &CSP{Domain: []database.Value{0, 1}}
+	for i := 1; i <= f.N; i++ {
+		c.Vars = append(c.Vars, fmt.Sprintf("x%d", i))
+	}
+	for _, cl := range f.Clauses {
+		seen := map[int]int{} // var -> position in scope
+		var scope []string
+		var forbidden database.Tuple
+		tautology := false
+		for _, l := range cl {
+			want := database.Value(1)
+			if !l.Neg {
+				want = 0 // clause falsified when positive literal is 0
+			}
+			if pos, ok := seen[l.Var]; ok {
+				if forbidden[pos] != want {
+					tautology = true // x ∨ ¬x: never falsified
+					break
+				}
+				continue
+			}
+			seen[l.Var] = len(scope)
+			scope = append(scope, fmt.Sprintf("x%d", l.Var))
+			forbidden = append(forbidden, want)
+		}
+		if tautology {
+			continue
+		}
+		c.Constraints = append(c.Constraints, Constraint{Scope: scope, Forbidden: []database.Tuple{forbidden}})
+	}
+	return c
+}
+
+// SolveDPLL decides satisfiability with a basic DPLL procedure (unit
+// propagation plus branching) — the generic baseline against which the
+// β-acyclic algorithm is benchmarked.
+func (f *CNF) SolveDPLL() bool {
+	asg := make([]int8, f.N+1) // 0 unknown, 1 true, -1 false
+	return f.dpll(asg)
+}
+
+func (f *CNF) dpll(asg []int8) bool {
+	// Unit propagation.
+	for {
+		progress := false
+		for _, cl := range f.Clauses {
+			unassigned := -1
+			var unassignedLit Lit
+			satisfied := false
+			count := 0
+			for _, l := range cl {
+				switch {
+				case asg[l.Var] == 0:
+					count++
+					unassigned = l.Var
+					unassignedLit = l
+				case (asg[l.Var] == 1) != l.Neg:
+					satisfied = true
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if count == 0 {
+				return false // falsified clause
+			}
+			if count == 1 {
+				if unassignedLit.Neg {
+					asg[unassigned] = -1
+				} else {
+					asg[unassigned] = 1
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Branch on the first unknown variable.
+	v := 0
+	for i := 1; i <= f.N; i++ {
+		if asg[i] == 0 {
+			v = i
+			break
+		}
+	}
+	if v == 0 {
+		return true // everything assigned, no falsified clause
+	}
+	for _, val := range []int8{1, -1} {
+		cp := make([]int8, len(asg))
+		copy(cp, asg)
+		cp[v] = val
+		if f.dpll(cp) {
+			return true
+		}
+	}
+	return false
+}
+
+// SolveBrute decides satisfiability by exhaustive assignment enumeration.
+func (f *CNF) SolveBrute() bool {
+	if f.N > 24 {
+		panic("ncq: brute-force SAT limited to 24 variables")
+	}
+	for mask := 0; mask < 1<<f.N; mask++ {
+		ok := true
+		for _, cl := range f.Clauses {
+			sat := false
+			for _, l := range cl {
+				val := mask>>(l.Var-1)&1 == 1
+				if val != l.Neg {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SolveBetaAcyclic decides satisfiability via the nest-point Davis–Putnam
+// elimination of Theorem 4.31; it fails if the clause hypergraph is not
+// β-acyclic.
+func (f *CNF) SolveBetaAcyclic() (bool, error) {
+	return f.ToCSP().SolveBetaAcyclic()
+}
+
+// RandomIntervalCNF generates a random CNF whose clause scopes are
+// intervals of the variable ordering 1..n. Interval hypergraphs are
+// β-acyclic (the first variable is always a nest point), making this the
+// workload family for experiment E14.
+func RandomIntervalCNF(rng *rand.Rand, n, clauses, maxWidth int) *CNF {
+	f := &CNF{N: n}
+	for i := 0; i < clauses; i++ {
+		w := 1 + rng.Intn(maxWidth)
+		if w > n {
+			w = n
+		}
+		start := 1 + rng.Intn(n-w+1)
+		cl := make(Clause, 0, w)
+		for v := start; v < start+w; v++ {
+			cl = append(cl, Lit{Var: v, Neg: rng.Intn(2) == 0})
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	return f
+}
+
+// TriangleCNF returns a small formula whose clause hypergraph is the
+// (α-acyclic but not β-acyclic) covered triangle of Section 4.5, used to
+// show that the β-acyclic solver refuses exactly the cyclic inputs.
+func TriangleCNF() *CNF {
+	return &CNF{N: 3, Clauses: []Clause{
+		{{Var: 1, Neg: false}, {Var: 2, Neg: false}, {Var: 3, Neg: false}},
+		{{Var: 1, Neg: true}, {Var: 2, Neg: false}},
+		{{Var: 2, Neg: true}, {Var: 3, Neg: false}},
+		{{Var: 1, Neg: false}, {Var: 3, Neg: true}},
+	}}
+}

@@ -1,0 +1,260 @@
+package ncq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+)
+
+func TestCNFToCSPClauseEncoding(t *testing.T) {
+	// The paper's example: x1 ∨ x2 ∨ x3 ∨ x4 ∨ ¬x5 ∨ ¬x6 is the negative
+	// atom ¬R(x̄) with R = {(0,0,0,0,1,1)}.
+	f := &CNF{N: 6, Clauses: []Clause{{
+		{Var: 1}, {Var: 2}, {Var: 3}, {Var: 4},
+		{Var: 5, Neg: true}, {Var: 6, Neg: true},
+	}}}
+	c := f.ToCSP()
+	if len(c.Constraints) != 1 {
+		t.Fatalf("want 1 constraint, got %d", len(c.Constraints))
+	}
+	ct := c.Constraints[0]
+	if len(ct.Forbidden) != 1 {
+		t.Fatalf("want 1 forbidden tuple, got %d", len(ct.Forbidden))
+	}
+	want := database.Tuple{0, 0, 0, 0, 1, 1}
+	if !ct.Forbidden[0].Equal(want) {
+		t.Fatalf("forbidden tuple %v, want %v", ct.Forbidden[0], want)
+	}
+}
+
+func TestTautologyClauseDropped(t *testing.T) {
+	f := &CNF{N: 1, Clauses: []Clause{{{Var: 1}, {Var: 1, Neg: true}}}}
+	if got := len(f.ToCSP().Constraints); got != 0 {
+		t.Errorf("tautological clause must produce no constraint, got %d", got)
+	}
+}
+
+func TestSolversOnFixedFormulas(t *testing.T) {
+	// (x1) ∧ (¬x1): unsatisfiable.
+	f := &CNF{N: 1, Clauses: []Clause{{{Var: 1}}, {{Var: 1, Neg: true}}}}
+	if f.SolveDPLL() || f.SolveBrute() {
+		t.Fatalf("contradiction must be UNSAT")
+	}
+	if got, err := f.SolveBetaAcyclic(); err != nil || got {
+		t.Fatalf("β-acyclic solver: got %v, %v", got, err)
+	}
+	// (x1 ∨ x2) ∧ (¬x1 ∨ x2) ∧ (¬x2 ∨ x3): satisfiable.
+	g := &CNF{N: 3, Clauses: []Clause{
+		{{Var: 1}, {Var: 2}},
+		{{Var: 1, Neg: true}, {Var: 2}},
+		{{Var: 2, Neg: true}, {Var: 3}},
+	}}
+	if !g.SolveDPLL() || !g.SolveBrute() {
+		t.Fatalf("expected SAT")
+	}
+	if got, err := g.SolveBetaAcyclic(); err != nil || !got {
+		t.Fatalf("β-acyclic solver: got %v, %v", got, err)
+	}
+}
+
+func TestTriangleCNFRejectedByBetaSolver(t *testing.T) {
+	f := TriangleCNF()
+	if f.ToCSP().IsBetaAcyclic() {
+		t.Fatalf("triangle CNF must not be β-acyclic")
+	}
+	if _, err := f.SolveBetaAcyclic(); err == nil {
+		t.Errorf("β-acyclic solver must refuse a cyclic instance")
+	}
+	// The baselines still solve it.
+	if f.SolveDPLL() != f.SolveBrute() {
+		t.Errorf("baselines disagree on the triangle formula")
+	}
+}
+
+func TestIntervalCNFIsBetaAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		f := RandomIntervalCNF(rng, 8, 12, 4)
+		if !f.ToCSP().IsBetaAcyclic() {
+			t.Fatalf("interval CNF must be β-acyclic: %v", f.Clauses)
+		}
+	}
+}
+
+func TestBetaAcyclicSATDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		f := RandomIntervalCNF(rng, 3+rng.Intn(10), 1+rng.Intn(18), 1+rng.Intn(4))
+		want := f.SolveBrute()
+		if got := f.SolveDPLL(); got != want {
+			t.Fatalf("trial %d: DPLL=%v brute=%v for %v", trial, got, want, f.Clauses)
+		}
+		got, err := f.SolveBetaAcyclic()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: β-acyclic=%v brute=%v for %v", trial, got, want, f.Clauses)
+		}
+	}
+}
+
+// Random β-acyclic CSPs over a ternary domain.
+func TestBetaAcyclicCSPDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(4)
+		c := &CSP{Domain: []database.Value{1, 2, 3}, Vars: names[:n]}
+		numCons := 1 + rng.Intn(5)
+		for i := 0; i < numCons; i++ {
+			w := 1 + rng.Intn(3)
+			if w > n {
+				w = n
+			}
+			start := rng.Intn(n - w + 1)
+			scope := names[start : start+w]
+			ct := Constraint{Scope: scope}
+			nf := rng.Intn(8)
+			for j := 0; j < nf; j++ {
+				f := make(database.Tuple, w)
+				for k := range f {
+					f[k] = database.Value(rng.Intn(3) + 1)
+				}
+				ct.Forbidden = append(ct.Forbidden, f)
+			}
+			c.Constraints = append(c.Constraints, ct)
+		}
+		if !c.IsBetaAcyclic() {
+			t.Fatalf("trial %d: interval scopes must be β-acyclic", trial)
+		}
+		want := c.SolveBrute()
+		got, err := c.SolveBetaAcyclic()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: β=%v brute=%v constraints=%+v", trial, got, want, c.Constraints)
+		}
+	}
+}
+
+func TestNCQDecide(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		db := database.NewDatabase()
+		r := database.NewRelation("R", 2)
+		s := database.NewRelation("S", 2)
+		for i := 0; i < 10; i++ {
+			r.InsertValues(database.Value(rng.Intn(3)+1), database.Value(rng.Intn(3)+1))
+			s.InsertValues(database.Value(rng.Intn(3)+1), database.Value(rng.Intn(3)+1))
+		}
+		r.Dedup()
+		s.Dedup()
+		db.AddRelation(r)
+		db.AddRelation(s)
+
+		// β-acyclic NCQ: chain scopes.
+		q := logic.MustParseCQ("Q() :- !R(x,y), !S(y,z).")
+		got, err := Decide(db, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := q.DecideNaive(db)
+		if got != want {
+			t.Fatalf("trial %d: Decide=%v naive=%v", trial, got, want)
+		}
+		bf, err := DecideBrute(db, q)
+		if err != nil || bf != want {
+			t.Fatalf("trial %d: brute=%v want %v (%v)", trial, bf, want, err)
+		}
+	}
+}
+
+func TestNCQWithConstantsAndRepeats(t *testing.T) {
+	db := database.NewDatabase()
+	r := database.NewRelation("R", 2)
+	r.InsertValues(1, 1)
+	r.InsertValues(1, 2)
+	r.InsertValues(2, 2)
+	db.AddRelation(r)
+	// ¬R(x,x): forbids x ∈ {1,2}; domain = {1,2}: unsat only if the domain
+	// has no other value — add value 3 via a unary relation.
+	q := logic.MustParseCQ("Q() :- !R(x,x).")
+	got, err := Decide(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != q.DecideNaive(db) {
+		t.Errorf("¬R(x,x): Decide=%v naive=%v", got, q.DecideNaive(db))
+	}
+	u := database.NewRelation("U", 1)
+	u.InsertValues(3)
+	db.AddRelation(u)
+	got, err = Decide(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Errorf("with domain element 3, ¬R(x,x) must be satisfiable")
+	}
+	// Fully-constant negated atom.
+	qc := logic.MustParseCQ("Q() :- !R(1,1).")
+	got, err = Decide(db, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Errorf("¬R(1,1) with (1,1) ∈ R must be false")
+	}
+	qc2 := logic.MustParseCQ("Q() :- !R(2,1).")
+	got, err = Decide(db, qc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Errorf("¬R(2,1) with (2,1) ∉ R must be true")
+	}
+}
+
+func TestNCQRejectsPositiveAtoms(t *testing.T) {
+	db := database.NewDatabase()
+	r := database.NewRelation("R", 1)
+	r.InsertValues(1)
+	db.AddRelation(r)
+	if _, err := Decide(db, logic.MustParseCQ("Q() :- R(x), !R(x).")); err == nil {
+		t.Errorf("positive atoms must be rejected")
+	}
+	if _, err := Decide(db, logic.MustParseCQ("Q() :- !R(x), x != 1.")); err == nil {
+		t.Errorf("comparisons must be rejected")
+	}
+}
+
+// A β-acyclic but non-interval structure: scopes {a}, {a,b}, {a,b,c} plus
+// a disjoint {d,e}.
+func TestNestedScopes(t *testing.T) {
+	c := &CSP{
+		Domain: []database.Value{1, 2},
+		Vars:   []string{"a", "b", "c", "d", "e"},
+		Constraints: []Constraint{
+			{Scope: []string{"a"}, Forbidden: []database.Tuple{{1}}},
+			{Scope: []string{"a", "b"}, Forbidden: []database.Tuple{{2, 1}}},
+			{Scope: []string{"a", "b", "c"}, Forbidden: []database.Tuple{{2, 2, 1}, {2, 2, 2}}},
+			{Scope: []string{"d", "e"}, Forbidden: []database.Tuple{{1, 1}, {2, 2}}},
+		},
+	}
+	// a must be 2, then b must be 2, then c has no value: UNSAT.
+	want := c.SolveBrute()
+	if want {
+		t.Fatalf("test setup: expected UNSAT")
+	}
+	got, err := c.SolveBetaAcyclic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("nested scopes: β=%v brute=%v", got, want)
+	}
+}

@@ -1,0 +1,341 @@
+package prefix
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+)
+
+// Cube is a partial assignment of B Boolean variables: every total
+// assignment extending Fixed belongs to the cube. A DNF disjunct is a cube;
+// the solution sets of Σ₁ formulas decompose into polynomially many cubes.
+type Cube struct {
+	Fixed map[int]bool
+}
+
+// Size returns |cube| = 2^(B−|Fixed|).
+func (c Cube) Size(B int) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(B-len(c.Fixed)))
+}
+
+// Contains reports whether the total assignment x extends the cube.
+func (c Cube) Contains(x []bool) bool {
+	for i, v := range c.Fixed {
+		if x[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionSizeExact computes |C₁ ∪ ... ∪ C_m| exactly by inclusion–exclusion —
+// the exponential reference used in tests (m ≤ 20).
+func UnionSizeExact(cubes []Cube, B int) (*big.Int, error) {
+	if len(cubes) > 20 {
+		return nil, fmt.Errorf("prefix: exact union limited to 20 cubes")
+	}
+	total := new(big.Int)
+	for mask := 1; mask < 1<<len(cubes); mask++ {
+		merged := map[int]bool{}
+		ok := true
+		bits := 0
+		for i, c := range cubes {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			bits++
+			for p, v := range c.Fixed {
+				if prev, seen := merged[p]; seen && prev != v {
+					ok = false
+					break
+				}
+				merged[p] = v
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		sz := new(big.Int).Lsh(big.NewInt(1), uint(B-len(merged)))
+		if bits%2 == 1 {
+			total.Add(total, sz)
+		} else {
+			total.Sub(total, sz)
+		}
+	}
+	return total, nil
+}
+
+// KarpLuby estimates |C₁ ∪ ... ∪ C_m| with the Monte-Carlo self-adjusting
+// coverage algorithm of Karp, Luby and Madras [57] — the FPRAS whose
+// existence makes #Σ₁ approximable (Definition 5.4): sample a cube i with
+// probability |C_i|/Σ|C_j|, then a uniform point of C_i, and count the
+// fraction of samples whose cube is the first one containing the point.
+// The number of samples grows as m/ε².
+func KarpLuby(cubes []Cube, B int, eps float64, rng *rand.Rand) (*big.Int, error) {
+	if len(cubes) == 0 {
+		return new(big.Int), nil
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("prefix: epsilon must be positive")
+	}
+	m := len(cubes)
+	sizes := make([]*big.Int, m)
+	sum := new(big.Int)
+	for i, c := range cubes {
+		sizes[i] = c.Size(B)
+		sum.Add(sum, sizes[i])
+	}
+	// Cumulative weights for cube sampling. To sample i ∝ |C_i| with big
+	// sizes, draw a uniform big integer below sum.
+	cum := make([]*big.Int, m)
+	acc := new(big.Int)
+	for i := range cubes {
+		acc = new(big.Int).Add(acc, sizes[i])
+		cum[i] = acc
+	}
+	samples := int(float64(4*m)/(eps*eps)) + 1
+	hits := 0
+	x := make([]bool, B)
+	for s := 0; s < samples; s++ {
+		// Sample a cube index.
+		r := new(big.Int).Rand(rng, sum)
+		idx := 0
+		for cum[idx].Cmp(r) <= 0 {
+			idx++
+		}
+		// Sample a uniform point of the cube.
+		for b := 0; b < B; b++ {
+			if v, ok := cubes[idx].Fixed[b]; ok {
+				x[b] = v
+			} else {
+				x[b] = rng.Intn(2) == 1
+			}
+		}
+		// Self-adjusting coverage: count the sample iff idx is the first
+		// cube containing x.
+		first := 0
+		for ; first < m; first++ {
+			if cubes[first].Contains(x) {
+				break
+			}
+		}
+		if first == idx {
+			hits++
+		}
+	}
+	// Estimate = (hits/samples) · Σ|C_i|.
+	est := new(big.Int).Mul(sum, big.NewInt(int64(hits)))
+	est.Div(est, big.NewInt(int64(samples)))
+	return est, nil
+}
+
+// DNF3 is a propositional formula in 3-DNF over variables 1..N: each
+// disjunct is up to three literals (var, negated).
+type DNF3 struct {
+	N         int
+	Disjuncts [][]struct {
+		Var int
+		Neg bool
+	}
+}
+
+// Cubes converts the DNF to its cube family (contradictory disjuncts are
+// dropped).
+func (f *DNF3) Cubes() []Cube {
+	var out []Cube
+	for _, d := range f.Disjuncts {
+		fixed := map[int]bool{}
+		ok := true
+		for _, l := range d {
+			want := !l.Neg
+			if prev, seen := fixed[l.Var-1]; seen && prev != want {
+				ok = false
+				break
+			}
+			fixed[l.Var-1] = want
+		}
+		if ok {
+			out = append(out, Cube{Fixed: fixed})
+		}
+	}
+	return out
+}
+
+// CountExact counts the satisfying assignments of the DNF by brute force
+// (N ≤ 24).
+func (f *DNF3) CountExact() *big.Int {
+	if f.N > 24 {
+		panic("prefix: brute force limited to 24 variables")
+	}
+	total := new(big.Int)
+	for mask := 0; mask < 1<<f.N; mask++ {
+		for _, d := range f.Disjuncts {
+			sat := true
+			for _, l := range d {
+				if (mask>>(l.Var-1)&1 == 1) == l.Neg {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				total.Add(total, big.NewInt(1))
+				break
+			}
+		}
+	}
+	return total
+}
+
+// RandomDNF3 generates a random 3-DNF formula.
+func RandomDNF3(rng *rand.Rand, n, disjuncts int) *DNF3 {
+	f := &DNF3{N: n}
+	for i := 0; i < disjuncts; i++ {
+		var d []struct {
+			Var int
+			Neg bool
+		}
+		w := 1 + rng.Intn(3)
+		for j := 0; j < w; j++ {
+			d = append(d, struct {
+				Var int
+				Neg bool
+			}{Var: 1 + rng.Intn(n), Neg: rng.Intn(2) == 0})
+		}
+		f.Disjuncts = append(f.Disjuncts, d)
+	}
+	return f
+}
+
+// Example51 builds the structure A_φ and formula Φ₀(T) of Example 5.1 for
+// a 3-DNF formula: domain = variables, Dᵢ(x₁,x₂,x₃) holds iff
+// ¬x₁..¬xᵢ ∧ xᵢ₊₁..x₃ appears as a disjunct; the relations T with
+// A_φ ⊨ Φ₀(T) are in bijection with the satisfying assignments.
+func Example51(f *DNF3) (*database.Database, logic.Formula, error) {
+	db := database.NewDatabase()
+	rels := make([]*database.Relation, 4)
+	for i := range rels {
+		rels[i] = database.NewRelation(fmt.Sprintf("D%d", i), 3)
+	}
+	// Make every variable part of the active domain.
+	v := database.NewRelation("V", 1)
+	for i := 1; i <= f.N; i++ {
+		v.InsertValues(database.Value(i))
+	}
+	db.AddRelation(v)
+	for _, d := range f.Disjuncts {
+		if len(d) != 3 {
+			return nil, nil, fmt.Errorf("prefix: Example 5.1 needs exactly 3 literals per disjunct")
+		}
+		// Order the disjunct as ¬..¬ then positive: count i = number of
+		// negative literals; the relation D_i holds the variables with
+		// negatives first.
+		var negs, poss []int
+		for _, l := range d {
+			if l.Neg {
+				negs = append(negs, l.Var)
+			} else {
+				poss = append(poss, l.Var)
+			}
+		}
+		i := len(negs)
+		args := append(append([]int(nil), negs...), poss...)
+		rels[i].InsertValues(database.Value(args[0]), database.Value(args[1]), database.Value(args[2]))
+	}
+	for _, r := range rels {
+		r.Dedup()
+		db.AddRelation(r)
+	}
+	phi := logic.MustParseFormula(
+		"exists x, y, z. (" +
+			"(D0(x,y,z) and x in T and y in T and z in T) or " +
+			"(D1(x,y,z) and not x in T and y in T and z in T) or " +
+			"(D2(x,y,z) and not x in T and not y in T and z in T) or " +
+			"(D3(x,y,z) and not x in T and not y in T and not z in T))")
+	return db, phi, nil
+}
+
+// CountSigma1FPRAS estimates |{Ā : D ⊨ ∃x̄ matrix(x̄,Ā)}| for a Σ₁ formula
+// with free set variables only, by decomposing the solution set into cubes
+// (one per witness assignment and satisfying membership pattern) and
+// running Karp–Luby.
+func CountSigma1FPRAS(db *database.Database, f logic.Formula, eps float64, rng *rand.Rand) (*big.Int, error) {
+	cubes, B, err := Sigma1Cubes(db, f)
+	if err != nil {
+		return nil, err
+	}
+	return KarpLuby(cubes, B, eps, rng)
+}
+
+// CountSigma1Exact is the exact union size over the same cubes (small
+// inputs; used to validate the FPRAS).
+func CountSigma1Exact(db *database.Database, f logic.Formula) (*big.Int, error) {
+	cubes, B, err := Sigma1Cubes(db, f)
+	if err != nil {
+		return nil, err
+	}
+	return UnionSizeExact(cubes, B)
+}
+
+// Sigma1Cubes decomposes the Σ₁ solution set into cubes over the
+// (set variable × domain value) bits.
+func Sigma1Cubes(db *database.Database, f logic.Formula) ([]Cube, int, error) {
+	cls, blocks, matrix, err := Classify(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cls.K > 1 || (cls.K == 1 && !cls.Sigma) {
+		return nil, 0, fmt.Errorf("prefix: %s formula is not Σ1", cls)
+	}
+	if len(logic.FreeVars(f)) > 0 {
+		return nil, 0, fmt.Errorf("prefix: free first-order variables not supported by the Σ1 counter")
+	}
+	var exVars []string
+	if cls.K == 1 {
+		exVars = blocks[0]
+	}
+	sets := logic.FreeSetVars(f)
+	bi := newBitIndex(db, sets)
+	var cubes []Cube
+	err = forEachFO(db, exVars, func(asg logic.Assignment) error {
+		points := membershipPoints(matrix, asg)
+		m := len(points)
+		if m > 24 {
+			return fmt.Errorf("prefix: too many membership points (%d)", m)
+		}
+		for mask := 0; mask < 1<<m; mask++ {
+			ok, err := evalQF(db, matrix, asg, pointOracle(points, mask))
+			if err != nil {
+				return err
+			}
+			if !ok || !pointsInDomain(bi, points, mask) {
+				continue
+			}
+			fixed := map[int]bool{}
+			valid := true
+			for i, p := range points {
+				set := p[0].(string)
+				val := p[1].(database.Value)
+				if _, inDom := bi.pos[val]; !inDom {
+					// A point outside the domain has no bit; it is false,
+					// which pointsInDomain already enforced for 1-bits.
+					continue
+				}
+				fixed[bi.bit(bi.setIdx(set), val)] = mask&(1<<i) != 0
+			}
+			if valid {
+				cubes = append(cubes, Cube{Fixed: fixed})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return cubes, bi.total(), nil
+}

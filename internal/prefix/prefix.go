@@ -1,0 +1,321 @@
+// Package prefix implements Section 5 of the paper: counting and
+// enumeration for first-order queries with free (monadic, relational)
+// second-order variables, classified by quantifier prefix.
+//
+//   - Classify determines the prefix class Σ_k / Π_k of a prenex formula.
+//   - CountSigma0 counts the answers of a quantifier-free formula φ(x̄,X̄)
+//     exactly in polynomial time (Theorem 5.3: every function in #Σ⁰ is
+//     polynomial-time computable).
+//   - The Karp–Luby machinery (karpluby.go) gives an FPRAS for #Σ₁
+//     (Definition 5.4 and the discussion after Theorem 5.3), with #DNF as
+//     the classical special case (Example 5.1).
+//   - EnumerateSigma0 enumerates Σ₀ answers with constant delta-delay by
+//     Gray-code walking of the unconstrained set bits (Theorem 5.5), and
+//     EnumerateSigma1 enumerates Σ₁ answers with polynomial delay by
+//     flashlight search.
+package prefix
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+)
+
+// Class is a prefix class Σ_k or Π_k.
+type Class struct {
+	Sigma bool // true: starts with ∃ (or k = 0)
+	K     int  // number of quantifier blocks
+}
+
+// String renders the class.
+func (c Class) String() string {
+	if c.K == 0 {
+		return "Σ0"
+	}
+	if c.Sigma {
+		return fmt.Sprintf("Σ%d", c.K)
+	}
+	return fmt.Sprintf("Π%d", c.K)
+}
+
+// Classify determines the prefix class of a prenex formula (first-order
+// quantifiers only; set variables must be free). It returns the class, the
+// quantifier-prefix variables per block, and the quantifier-free matrix.
+func Classify(f logic.Formula) (Class, [][]string, logic.Formula, error) {
+	var blocks [][]string
+	cur := f
+	sigmaFirst := false
+	lastEx := false
+	for {
+		switch h := cur.(type) {
+		case logic.FExists:
+			if len(blocks) == 0 {
+				sigmaFirst = true
+				blocks = append(blocks, nil)
+				lastEx = true
+			} else if !lastEx {
+				blocks = append(blocks, nil)
+				lastEx = true
+			}
+			blocks[len(blocks)-1] = append(blocks[len(blocks)-1], h.Var)
+			cur = h.F
+		case logic.FForall:
+			if len(blocks) == 0 {
+				sigmaFirst = false
+				blocks = append(blocks, nil)
+				lastEx = false
+			} else if lastEx {
+				blocks = append(blocks, nil)
+				lastEx = false
+			}
+			blocks[len(blocks)-1] = append(blocks[len(blocks)-1], h.Var)
+			cur = h.F
+		case logic.FExistsSet, logic.FForallSet:
+			return Class{}, nil, nil, fmt.Errorf("prefix: quantified set variables are not part of the Σ_k^rel fragments")
+		default:
+			if hasQuantifier(cur) {
+				return Class{}, nil, nil, fmt.Errorf("prefix: formula is not prenex")
+			}
+			return Class{Sigma: sigmaFirst || len(blocks) == 0, K: len(blocks)}, blocks, cur, nil
+		}
+	}
+}
+
+func hasQuantifier(f logic.Formula) bool {
+	switch h := f.(type) {
+	case logic.FExists, logic.FForall, logic.FExistsSet, logic.FForallSet:
+		return true
+	case logic.FNot:
+		return hasQuantifier(h.F)
+	case logic.FAnd:
+		for _, g := range h.Fs {
+			if hasQuantifier(g) {
+				return true
+			}
+		}
+	case logic.FOr:
+		for _, g := range h.Fs {
+			if hasQuantifier(g) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bitIndex numbers the (set variable, domain value) bits.
+type bitIndex struct {
+	sets []string
+	dom  []database.Value
+	pos  map[database.Value]int
+}
+
+func newBitIndex(db *database.Database, sets []string) *bitIndex {
+	b := &bitIndex{sets: append([]string(nil), sets...), dom: db.Domain(), pos: map[database.Value]int{}}
+	sort.Strings(b.sets)
+	for i, v := range b.dom {
+		b.pos[v] = i
+	}
+	return b
+}
+
+func (b *bitIndex) total() int { return len(b.sets) * len(b.dom) }
+
+func (b *bitIndex) bit(setIdx int, v database.Value) int {
+	return setIdx*len(b.dom) + b.pos[v]
+}
+
+func (b *bitIndex) setIdx(name string) int {
+	for i, s := range b.sets {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// evalQF evaluates a quantifier-free formula under a first-order assignment
+// and a bit oracle for set membership.
+func evalQF(db *database.Database, f logic.Formula, asg logic.Assignment, member func(set string, v database.Value) bool) (bool, error) {
+	switch h := f.(type) {
+	case logic.FAtom:
+		r := db.Relation(h.Pred)
+		if r == nil {
+			return false, nil
+		}
+		t := make(database.Tuple, len(h.Args))
+		for i, a := range h.Args {
+			t[i] = termValue(a, asg)
+		}
+		return r.Contains(t), nil
+	case logic.FComp:
+		return h.Op.Eval(termValue(h.L, asg), termValue(h.R, asg)), nil
+	case logic.FMember:
+		return member(h.Set, termValue(h.Elem, asg)), nil
+	case logic.FNot:
+		v, err := evalQF(db, h.F, asg, member)
+		return !v, err
+	case logic.FAnd:
+		for _, g := range h.Fs {
+			v, err := evalQF(db, g, asg, member)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case logic.FOr:
+		for _, g := range h.Fs {
+			v, err := evalQF(db, g, asg, member)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("prefix: quantifier inside matrix")
+}
+
+func termValue(t logic.Term, asg logic.Assignment) database.Value {
+	if t.IsConst {
+		return t.Const
+	}
+	return asg[t.Var]
+}
+
+// membershipPoints collects, for a fixed first-order assignment, the
+// distinct (set variable, value) pairs the matrix actually tests.
+func membershipPoints(f logic.Formula, asg logic.Assignment) [][2]interface{} {
+	seen := map[string]bool{}
+	var out [][2]interface{}
+	var rec func(g logic.Formula)
+	rec = func(g logic.Formula) {
+		switch h := g.(type) {
+		case logic.FMember:
+			v := termValue(h.Elem, asg)
+			k := fmt.Sprint(h.Set, "§", v)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, [2]interface{}{h.Set, v})
+			}
+		case logic.FNot:
+			rec(h.F)
+		case logic.FAnd:
+			for _, x := range h.Fs {
+				rec(x)
+			}
+		case logic.FOr:
+			for _, x := range h.Fs {
+				rec(x)
+			}
+		}
+	}
+	rec(f)
+	return out
+}
+
+// forEachFO iterates all assignments of vars over the active domain.
+func forEachFO(db *database.Database, vars []string, visit func(asg logic.Assignment) error) error {
+	dom := db.Domain()
+	asg := logic.Assignment{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(vars) {
+			return visit(asg)
+		}
+		for _, v := range dom {
+			asg[vars[i]] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(asg, vars[i])
+		return nil
+	}
+	return rec(0)
+}
+
+// CountSigma0 counts |φ(D)| = |{(ā,Ā) : D ⊨ φ(ā,Ā)}| for a quantifier-free
+// formula, exactly, in polynomial time (Theorem 5.3): for each ā the matrix
+// constrains only the membership bits it mentions (at most ‖φ‖ of them);
+// every satisfying assignment of those bits contributes 2^(#unconstrained
+// bits) full answers.
+func CountSigma0(db *database.Database, f logic.Formula) (*big.Int, error) {
+	cls, _, matrix, err := Classify(f)
+	if err != nil {
+		return nil, err
+	}
+	if cls.K != 0 {
+		return nil, fmt.Errorf("prefix: CountSigma0 needs a Σ0 formula, got %s", cls)
+	}
+	sets := logic.FreeSetVars(f)
+	fo := logic.FreeVars(f)
+	bi := newBitIndex(db, sets)
+	total := new(big.Int)
+	err = forEachFO(db, fo, func(asg logic.Assignment) error {
+		points := membershipPoints(matrix, asg)
+		m := len(points)
+		if m > 30 {
+			return fmt.Errorf("prefix: too many membership points (%d)", m)
+		}
+		free := bi.total() - countValidPoints(bi, points)
+		weight := new(big.Int).Lsh(big.NewInt(1), uint(free))
+		for mask := 0; mask < 1<<m; mask++ {
+			ok, err := evalQF(db, matrix, asg, pointOracle(points, mask))
+			if err != nil {
+				return err
+			}
+			if ok && pointsInDomain(bi, points, mask) {
+				total.Add(total, weight)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// countValidPoints counts the membership points whose value lies in the
+// active domain (only those correspond to real bits).
+func countValidPoints(bi *bitIndex, points [][2]interface{}) int {
+	n := 0
+	for _, p := range points {
+		if _, ok := bi.pos[p[1].(database.Value)]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// pointsInDomain reports whether every point set to true lies in the active
+// domain (a membership of a value outside every set's possible extent can
+// only be false).
+func pointsInDomain(bi *bitIndex, points [][2]interface{}, mask int) bool {
+	for i, p := range points {
+		if mask&(1<<i) != 0 {
+			if _, ok := bi.pos[p[1].(database.Value)]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pointOracle interprets set membership according to the mask over points.
+func pointOracle(points [][2]interface{}, mask int) func(string, database.Value) bool {
+	return func(set string, v database.Value) bool {
+		for i, p := range points {
+			if p[0].(string) == set && p[1].(database.Value) == v {
+				return mask&(1<<i) != 0
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,308 @@
+package prefix
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+)
+
+func graphDB(rng *rand.Rand, n, edges int) *database.Database {
+	db := database.NewDatabase()
+	e := database.NewRelation("E", 2)
+	for i := 0; i < edges; i++ {
+		e.InsertValues(database.Value(rng.Intn(n)+1), database.Value(rng.Intn(n)+1))
+	}
+	e.Dedup()
+	db.AddRelation(e)
+	u := database.NewRelation("V", 1)
+	for i := 1; i <= n; i++ {
+		u.InsertValues(database.Value(i))
+	}
+	db.AddRelation(u)
+	return db
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"E(x,y) and x in X", "Σ0"},
+		{"exists x. E(x,y)", "Σ1"},
+		{"forall x. E(x,x)", "Π1"},
+		{"exists x. forall y. E(x,y)", "Σ2"},
+		{"forall x. exists y. forall z. (E(x,y) and E(y,z))", "Π3"},
+		{"exists x. exists y. E(x,y)", "Σ1"},
+	}
+	for _, c := range cases {
+		cls, _, _, err := Classify(logic.MustParseFormula(c.src))
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if cls.String() != c.want {
+			t.Errorf("%q: got %s want %s", c.src, cls, c.want)
+		}
+	}
+	// Non-prenex and set-quantified formulas are rejected.
+	if _, _, _, err := Classify(logic.MustParseFormula("E(x,y) and exists z. E(y,z)")); err == nil {
+		t.Errorf("non-prenex must be rejected")
+	}
+	if _, _, _, err := Classify(logic.MustParseFormula("exists set X. x in X")); err == nil {
+		t.Errorf("set quantifier must be rejected")
+	}
+}
+
+func TestCountSigma0AgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	formulas := []string{
+		"x in X and V(x)",
+		"E(x,y) and x in X and not y in X",
+		"x in X or x in Y",
+		"V(x) and not x in X",
+		"E(x,x) and x in X",
+	}
+	for trial := 0; trial < 10; trial++ {
+		db := graphDB(rng, 3+rng.Intn(2), 4)
+		for _, src := range formulas {
+			f := logic.MustParseFormula(src)
+			got, err := CountSigma0(db, f)
+			if err != nil {
+				t.Fatalf("%q: %v", src, err)
+			}
+			want := logic.CountMixed(db, f)
+			if got.Cmp(big.NewInt(int64(want))) != 0 {
+				t.Fatalf("trial %d %q: got %s want %d", trial, src, got, want)
+			}
+		}
+	}
+}
+
+// Example 5.2's Ψ0: ordered triangles, a Σ0 query with free FO variables
+// and order comparisons.
+func TestExample52OrderedTriangles(t *testing.T) {
+	db := database.NewDatabase()
+	e := database.NewRelation("E", 2)
+	// Triangle 1-2-3 in both directions plus an extra edge.
+	for _, p := range [][2]database.Value{{1, 2}, {2, 3}, {3, 1}, {2, 1}, {3, 2}, {1, 3}, {1, 4}} {
+		e.InsertValues(p[0], p[1])
+	}
+	db.AddRelation(e)
+	psi0 := logic.MustParseFormula("v1 < v2 and v2 < v3 and E(v1,v2) and E(v2,v3) and E(v3,v1)")
+	got, err := CountSigma0(db, psi0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one ordered triangle: (1,2,3).
+	if got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("ordered triangles: got %s want 1", got)
+	}
+}
+
+func TestUnionSizeExactAndKarpLuby(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		f := RandomDNF3(rng, 6+rng.Intn(4), 3+rng.Intn(6))
+		cubes := f.Cubes()
+		exact, err := UnionSizeExact(cubes, f.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Cmp(f.CountExact()) != 0 {
+			t.Fatalf("trial %d: exact union %s vs brute %s", trial, exact, f.CountExact())
+		}
+	}
+}
+
+func TestKarpLubyAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bad := 0
+	trials := 25
+	for trial := 0; trial < trials; trial++ {
+		f := RandomDNF3(rng, 10, 8)
+		cubes := f.Cubes()
+		if len(cubes) == 0 {
+			continue
+		}
+		exact := f.CountExact()
+		est, err := KarpLuby(cubes, f.N, 0.1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// |est - exact| ≤ 0.15·exact allowing some slack beyond ε = 0.1.
+		diff := new(big.Int).Sub(est, exact)
+		diff.Abs(diff)
+		bound := new(big.Int).Mul(exact, big.NewInt(15))
+		bound.Div(bound, big.NewInt(100))
+		if diff.Cmp(bound) > 0 {
+			bad++
+		}
+	}
+	if bad > trials/4 {
+		t.Errorf("Karp–Luby outside 15%% on %d/%d trials", bad, trials)
+	}
+	if _, err := KarpLuby([]Cube{{Fixed: map[int]bool{0: true}}}, 4, 0, nil); err == nil {
+		t.Errorf("epsilon 0 must be rejected")
+	}
+	if got, err := KarpLuby(nil, 4, 0.1, rng); err != nil || got.Sign() != 0 {
+		t.Errorf("empty DNF must count 0")
+	}
+}
+
+func TestExample51Bijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		// Random 3-DNF with exactly 3 literals per disjunct.
+		f := &DNF3{N: 4 + rng.Intn(2)}
+		for i := 0; i < 3+rng.Intn(3); i++ {
+			var d []struct {
+				Var int
+				Neg bool
+			}
+			for j := 0; j < 3; j++ {
+				d = append(d, struct {
+					Var int
+					Neg bool
+				}{Var: 1 + rng.Intn(f.N), Neg: rng.Intn(2) == 0})
+			}
+			f.Disjuncts = append(f.Disjuncts, d)
+		}
+		db, phi, err := Example51(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// |{T : A_φ ⊨ Φ0(T)}| = #satisfying assignments of φ.
+		got := logic.CountMixed(db, phi)
+		want := f.CountExact()
+		if want.Cmp(big.NewInt(int64(got))) != 0 {
+			t.Fatalf("trial %d: naive count %d vs DNF count %s", trial, got, want)
+		}
+		// And the Σ1 cube decomposition agrees.
+		cnt, err := CountSigma1Exact(db, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt.Cmp(want) != 0 {
+			t.Fatalf("trial %d: cube count %s vs %s", trial, cnt, want)
+		}
+		// And the FPRAS lands within tolerance.
+		est, err := CountSigma1FPRAS(db, phi, 0.15, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Sign() > 0 {
+			diff := new(big.Int).Sub(est, want)
+			diff.Abs(diff)
+			bound := new(big.Int).Mul(want, big.NewInt(30))
+			bound.Div(bound, big.NewInt(100))
+			if diff.Cmp(bound) > 0 {
+				t.Errorf("trial %d: FPRAS %s vs exact %s", trial, est, want)
+			}
+		}
+	}
+}
+
+func TestEnumerateSigma0(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		db := graphDB(rng, 3, 3)
+		for _, src := range []string{
+			"x in X and V(x)",
+			"E(x,y) and x in X and not y in X",
+			"V(x) and not x in X",
+		} {
+			f := logic.MustParseFormula(src)
+			e, err := EnumerateSigma0(db, f, nil)
+			if err != nil {
+				t.Fatalf("%q: %v", src, err)
+			}
+			answers := CollectSetAnswers(e)
+			want, err := CountSigma0(db, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Cmp(big.NewInt(int64(len(answers)))) != 0 {
+				t.Fatalf("trial %d %q: %d answers, count says %s", trial, src, len(answers), want)
+			}
+			// No duplicates; all valid; deltas bounded.
+			seen := map[string]bool{}
+			dom := db.Domain()
+			for _, a := range answers {
+				key := fmt.Sprint(a.FO, a.Sets)
+				if seen[key] {
+					t.Fatalf("%q: duplicate %v", src, a)
+				}
+				seen[key] = true
+				in := logic.Interpretation{FirstOrder: logic.Assignment{}, Sets: logic.SetAssignment{}}
+				for v, val := range a.FO {
+					in.FirstOrder[v] = val
+				}
+				for s, bits := range a.Sets {
+					m := map[database.Value]bool{}
+					for i, b := range bits {
+						if b {
+							m[dom[i]] = true
+						}
+					}
+					in.Sets[s] = m
+				}
+				if !logic.Eval(db, f, in) {
+					t.Fatalf("%q: invalid answer %v", src, a)
+				}
+				if a.Delta > 10 {
+					t.Fatalf("%q: delta %d too large", src, a.Delta)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateSigma1(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		db := graphDB(rng, 3, 4)
+		for _, src := range []string{
+			"exists x. (x in X and V(x))",
+			"exists x, y. (E(x,y) and x in X and y in Y)",
+			"exists x. (V(x) and not x in X)",
+		} {
+			f := logic.MustParseFormula(src)
+			e, err := EnumerateSigma1(db, f, nil)
+			if err != nil {
+				t.Fatalf("%q: %v", src, err)
+			}
+			answers := CollectSetAnswers(e)
+			want, err := CountSigma1Exact(db, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Cmp(big.NewInt(int64(len(answers)))) != 0 {
+				t.Fatalf("trial %d %q: enumerated %d, exact %s", trial, src, len(answers), want)
+			}
+			seen := map[string]bool{}
+			for _, a := range answers {
+				key := fmt.Sprint(a.Sets)
+				if seen[key] {
+					t.Fatalf("%q: duplicate", src)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+func TestSigma1Rejections(t *testing.T) {
+	db := graphDB(rand.New(rand.NewSource(1)), 3, 3)
+	if _, _, err := Sigma1Cubes(db, logic.MustParseFormula("forall x. x in X")); err == nil {
+		t.Errorf("Π1 must be rejected by the Σ1 counter")
+	}
+	if _, _, err := Sigma1Cubes(db, logic.MustParseFormula("E(x,y) and x in X")); err == nil {
+		t.Errorf("free FO variables must be rejected by the Σ1 counter")
+	}
+	if _, err := CountSigma0(db, logic.MustParseFormula("exists x. x in X")); err == nil {
+		t.Errorf("Σ1 must be rejected by the Σ0 counter")
+	}
+}
