@@ -35,6 +35,9 @@ func LoadFacts(r io.Reader, dict *database.Dictionary) (*database.Database, erro
 			return nil, fmt.Errorf("core: line %d: want pred(arg,...), got %q", lineNo, line)
 		}
 		pred := strings.TrimSpace(line[:open])
+		if pred == "" {
+			return nil, fmt.Errorf("core: line %d: missing predicate name in %q", lineNo, line)
+		}
 		argsStr := line[open+1 : len(line)-1]
 		var args []string
 		if strings.TrimSpace(argsStr) != "" {
@@ -43,6 +46,9 @@ func LoadFacts(r io.Reader, dict *database.Dictionary) (*database.Database, erro
 		tuple := make(database.Tuple, len(args))
 		for i, a := range args {
 			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("core: line %d: empty argument %d of %s", lineNo, i+1, pred)
+			}
 			if n, err := strconv.ParseInt(a, 10, 64); err == nil {
 				tuple[i] = database.Value(n)
 			} else {
@@ -57,7 +63,11 @@ func LoadFacts(r io.Reader, dict *database.Dictionary) (*database.Database, erro
 		if rel.Arity != len(tuple) {
 			return nil, fmt.Errorf("core: line %d: %s used with arity %d and %d", lineNo, pred, rel.Arity, len(tuple))
 		}
-		rel.Insert(tuple)
+		// TryInsert instead of Insert: a malformed input file must surface
+		// as an error with line context, never crash the CLI.
+		if err := rel.TryInsert(tuple); err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", lineNo, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/database"
+)
+
+// Malformed input files must come back as errors carrying the offending
+// line number — never as a panic out of Relation.Insert (the qeval crash).
+func TestLoadFactsMalformedInputErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantLine string
+	}{
+		{"arity mismatch", "edge(a, b).\nedge(a).\n", "line 2"},
+		{"arity mismatch later", "p(1).\np(2).\np(3,4).\n", "line 3"},
+		{"empty argument", "edge(a, , b).\n", "line 1"},
+		{"trailing comma", "edge(a, b,).\n", "line 1"},
+		{"missing predicate", "(a, b).\n", "line 1"},
+		{"no parens", "just words\n", "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("LoadFacts panicked on malformed input: %v", r)
+				}
+			}()
+			_, err := LoadFacts(strings.NewReader(tc.src), database.NewDictionary())
+			if err == nil {
+				t.Fatalf("LoadFacts accepted malformed input %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Errorf("error lacks %s context: %v", tc.wantLine, err)
+			}
+		})
+	}
+}
+
+func TestLoadFactsCommentsAndBlanks(t *testing.T) {
+	src := "# comment\n\n% other comment\nedge(a, b)\nedge(b, c).\n"
+	db, err := LoadFacts(strings.NewReader(src), database.NewDictionary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Relation("edge").Len(); got != 2 {
+		t.Errorf("loaded %d tuples, want 2", got)
+	}
+}

@@ -127,8 +127,18 @@ func CountFullJoin(rels []cq.Rel, vars []string, w Weight, s Semiring) (interfac
 	}
 	root := jt.Root()
 	total := s.Zero()
-	for _, v := range sums[root].byKey {
-		total = s.Add(total, v)
+	// Sum in sorted key order: map iteration order must not leak into the
+	// result for semirings whose Add is not exactly associative (floats),
+	// and deterministic totals are what the parallel engine is diff-tested
+	// against. (At the root the separator is empty, so there is normally a
+	// single key; the sort is belt and braces.)
+	rootKeys := make([]string, 0, len(sums[root].byKey))
+	for k := range sums[root].byKey {
+		rootKeys = append(rootKeys, k)
+	}
+	sort.Strings(rootKeys)
+	for _, k := range rootKeys {
+		total = s.Add(total, sums[root].byKey[k])
 	}
 	return total, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cq"
 	"repro/internal/database"
+	"repro/internal/graphs"
 	"repro/internal/logic"
 )
 
@@ -339,5 +340,29 @@ func TestCountFullJoinValidation(t *testing.T) {
 	if _, err := CountFullJoin([]cq.Rel{mk("A", "a", "b"), mk("B", "b", "c"), mk("C", "c", "a")},
 		[]string{"a", "b", "c"}, UnitWeight(s), s); err == nil {
 		t.Errorf("cyclic join must fail")
+	}
+}
+
+// Counting must be deterministic run-to-run: no map-iteration order may
+// leak into the total (the root sum iterates in sorted key order).
+func TestCountDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	q := logic.MustParseCQ("Q(x,y) :- R(x,y), S(y,z).")
+	db := database.NewDatabase()
+	db.AddRelation(graphs.RandomRelation(rng, "R", 2, 500, 60))
+	db.AddRelation(graphs.RandomRelation(rng, "S", 2, 500, 60))
+	s := BigInt{}
+	first, err := Count(db, q, UnitWeight(s), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		again, err := Count(db, q, UnitWeight(s), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String(first) != s.String(again) {
+			t.Fatalf("round %d: count %s != %s", round, s.String(again), s.String(first))
+		}
 	}
 }

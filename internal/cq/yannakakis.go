@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/database"
+	"repro/internal/delay"
 	"repro/internal/hypergraph"
 	"repro/internal/logic"
 )
@@ -26,6 +27,14 @@ type Tree struct {
 // synthetic head edge {free(q)} is added (Definition 4.4) and the tree is
 // rooted at it; q must then be free-connex.
 func BuildTree(db *database.Database, q *logic.CQ, withHead bool) (*Tree, error) {
+	return buildTree(db, q, withHead, 1)
+}
+
+// buildTree is BuildTree with the per-atom relation construction (select,
+// project, dedup — the linear preprocessing scan over each base relation)
+// fanned out over par workers. The atoms are independent of one another, so
+// the resulting tree is identical for every par.
+func buildTree(db *database.Database, q *logic.CQ, withHead bool, par int) (*Tree, error) {
 	if err := checkPlainACQ(q); err != nil {
 		return nil, err
 	}
@@ -47,15 +56,23 @@ func BuildTree(db *database.Database, q *logic.CQ, withHead bool) (*Tree, error)
 	}
 	t := &Tree{Q: q, JT: jt, HeadIdx: headIdx}
 	t.Rels = make([]Rel, len(jt.Nodes))
-	for i := range jt.Nodes {
+	errs := make([]error, len(jt.Nodes))
+	e := newParEngine(par, nil)
+	e.forEach(len(jt.Nodes), func(i int) {
 		if i == headIdx {
-			continue
+			return
 		}
 		r, err := AtomRelation(db, q.Atoms[i])
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		t.Rels[i] = r
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	t.children = jt.Children()
 	t.postord = postorder(jt)
@@ -83,21 +100,29 @@ func postorder(jt *hypergraph.JoinTree) []int {
 // followed by a top-down pass. Afterwards every tuple of every relation
 // participates in at least one solution of the full join. It reports
 // whether the join is nonempty.
-func (t *Tree) FullReduce() bool {
+func (t *Tree) FullReduce() bool { return t.FullReduceCounted(nil) }
+
+// FullReduceCounted is FullReduce ticking c once per semijoin result tuple,
+// so the reducer's O(‖φ‖·‖D‖) work is observable as counted steps. The
+// tick placement mirrors ParFullReduce exactly: sequential and parallel
+// runs of the reducer record the same total on a nonempty join.
+func (t *Tree) FullReduceCounted(c *delay.Counter) bool {
 	if t.HeadIdx >= 0 {
 		panic("cq: FullReduce on a head-extended tree")
 	}
 	// Bottom-up.
 	for _, i := range t.postord {
-		for _, c := range t.children[i] {
-			t.Rels[i] = semijoin(t.Rels[i], t.Rels[c])
+		for _, ch := range t.children[i] {
+			t.Rels[i] = semijoin(t.Rels[i], t.Rels[ch])
+			c.Tick(int64(t.Rels[i].R.Len()) + 1)
 		}
 	}
 	// Top-down.
 	for k := len(t.postord) - 1; k >= 0; k-- {
 		i := t.postord[k]
-		for _, c := range t.children[i] {
-			t.Rels[c] = semijoin(t.Rels[c], t.Rels[i])
+		for _, ch := range t.children[i] {
+			t.Rels[ch] = semijoin(t.Rels[ch], t.Rels[i])
+			c.Tick(int64(t.Rels[ch].R.Len()) + 1)
 		}
 	}
 	for _, r := range t.Rels {
@@ -112,13 +137,19 @@ func (t *Tree) FullReduce() bool {
 // via the bottom-up semijoin pass (Theorem 4.2 specialized to sentences):
 // time O(‖φ‖·‖D‖) up to hashing.
 func Decide(db *database.Database, q *logic.CQ) (bool, error) {
+	return DecideCounted(db, q, nil)
+}
+
+// DecideCounted is Decide with step counting (see FullReduceCounted).
+func DecideCounted(db *database.Database, q *logic.CQ, c *delay.Counter) (bool, error) {
 	t, err := BuildTree(db, q, false)
 	if err != nil {
 		return false, err
 	}
 	for _, i := range t.postord {
-		for _, c := range t.children[i] {
-			t.Rels[i] = semijoin(t.Rels[i], t.Rels[c])
+		for _, ch := range t.children[i] {
+			t.Rels[i] = semijoin(t.Rels[i], t.Rels[ch])
+			c.Tick(int64(t.Rels[i].R.Len()) + 1)
 		}
 		if t.Rels[i].R.Len() == 0 {
 			return false, nil
@@ -134,47 +165,64 @@ func Decide(db *database.Database, q *logic.CQ) (bool, error) {
 // intermediate results within O(‖φ(D)‖·‖D‖). Answers are in head order,
 // deduplicated and sorted.
 func Eval(db *database.Database, q *logic.CQ) ([]database.Tuple, error) {
+	return EvalCounted(db, q, nil)
+}
+
+// EvalCounted is Eval with step counting: one tick per tuple of every
+// intermediate semijoin, join, and projection result. ParEval ticks at the
+// same points, so counted steps compare the total work of the two engines
+// independently of scheduling.
+func EvalCounted(db *database.Database, q *logic.CQ, c *delay.Counter) ([]database.Tuple, error) {
 	t, err := BuildTree(db, q, false)
 	if err != nil {
 		return nil, err
 	}
-	if !t.FullReduce() {
+	if !t.FullReduceCounted(c) {
 		return nil, nil
 	}
-	head := make(map[string]bool, len(q.Head))
-	for _, v := range q.Head {
-		head[v] = true
-	}
+	head := headSet(q)
 	// acc[i] = join of subtree(i) projected onto subtree head vars ∪ sep to
 	// parent.
 	acc := make([]Rel, len(t.Rels))
 	for _, i := range t.postord {
-		a := t.Rels[i]
-		for _, c := range t.children[i] {
-			a = join(a.R.Name, a, acc[c])
-		}
-		// Keep: head vars present in a's schema, plus vars shared with the
-		// parent node.
-		keep := make(map[string]bool)
-		for _, v := range a.Schema {
-			if head[v] {
-				keep[v] = true
-			}
-		}
-		if p := t.JT.Parent[i]; p >= 0 {
-			pe := t.JT.Nodes[p]
-			for _, v := range a.Schema {
-				if pe.Has(v) {
-					keep[v] = true
-				}
-			}
-		}
-		a = project(a, sortedVars(keep))
-		a.R.Dedup()
-		acc[i] = a
+		acc[i] = t.evalNode(i, head, acc, c)
 	}
 	root := acc[t.JT.Root()]
 	out := project(root, q.Head)
 	out.R.Dedup()
+	c.Tick(int64(out.R.Len()) + 1)
 	return out.R.Tuples, nil
+}
+
+// evalNode computes acc[i] of the Eval join pass: the join of node i with
+// its children's accumulators, projected onto the head variables present
+// plus the separator towards the parent. It is shared by the sequential and
+// parallel engines; for a fixed node it only reads acc entries of the
+// node's children.
+func (t *Tree) evalNode(i int, head map[string]bool, acc []Rel, c *delay.Counter) Rel {
+	a := t.Rels[i]
+	for _, ch := range t.children[i] {
+		a = join(a.R.Name, a, acc[ch])
+		c.Tick(int64(a.R.Len()) + 1)
+	}
+	// Keep: head vars present in a's schema, plus vars shared with the
+	// parent node.
+	keep := make(map[string]bool)
+	for _, v := range a.Schema {
+		if head[v] {
+			keep[v] = true
+		}
+	}
+	if p := t.JT.Parent[i]; p >= 0 {
+		pe := t.JT.Nodes[p]
+		for _, v := range a.Schema {
+			if pe.Has(v) {
+				keep[v] = true
+			}
+		}
+	}
+	a = project(a, sortedVars(keep))
+	a.R.Dedup()
+	c.Tick(int64(a.R.Len()) + 1)
+	return a
 }

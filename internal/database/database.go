@@ -11,8 +11,10 @@ package database
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Value is a domain element. The linear order on the domain required by the
@@ -102,11 +104,15 @@ func (t Tuple) FullKey() string {
 }
 
 // Relation is a named finite relation: a set of tuples of fixed arity.
+// Reads (lookups, iteration, index builds) are safe from multiple
+// goroutines; mutations (Insert, Dedup, Sort) are not and must be
+// serialized by the caller.
 type Relation struct {
 	Name   string
 	Arity  int
 	Tuples []Tuple
 
+	mu      sync.Mutex // guards indexes
 	indexes map[string]*Index
 }
 
@@ -125,14 +131,32 @@ func FromTuples(name string, arity int, rows []Tuple) *Relation {
 	return r
 }
 
-// Insert appends a tuple. Duplicates are permitted until Dedup is called;
-// the query engines always work on deduplicated relations.
-func (r *Relation) Insert(t Tuple) {
+// TryInsert appends a tuple, reporting an arity mismatch as an error. Load
+// paths handling external (possibly malformed) input should use TryInsert
+// so they can attach file/line context instead of crashing the process.
+func (r *Relation) TryInsert(t Tuple) error {
 	if len(t) != r.Arity {
-		panic(fmt.Sprintf("database: relation %s has arity %d, got tuple of length %d", r.Name, r.Arity, len(t)))
+		return fmt.Errorf("database: relation %s has arity %d, got tuple of length %d", r.Name, r.Arity, len(t))
 	}
 	r.Tuples = append(r.Tuples, t)
+	r.invalidateIndexes()
+	return nil
+}
+
+// Insert appends a tuple. Duplicates are permitted until Dedup is called;
+// the query engines always work on deduplicated relations. An arity
+// mismatch is programmer error and panics; external input goes through
+// TryInsert.
+func (r *Relation) Insert(t Tuple) {
+	if err := r.TryInsert(t); err != nil {
+		panic(err.Error())
+	}
+}
+
+func (r *Relation) invalidateIndexes() {
+	r.mu.Lock()
 	r.indexes = nil
+	r.mu.Unlock()
 }
 
 // InsertValues is Insert with variadic values, convenient in tests.
@@ -163,7 +187,7 @@ func (r *Relation) Dedup() {
 		}
 	}
 	r.Tuples = out
-	r.indexes = nil
+	r.invalidateIndexes()
 }
 
 // Contains reports whether the relation holds the given tuple.
@@ -188,37 +212,138 @@ func (r *Relation) Clone() *Relation {
 }
 
 // Index is a hash index of a relation's tuples keyed on a column subset.
+// The buckets are held in one or more shards with disjoint key sets,
+// partitioned by key hash; a sequential build produces a single shard, a
+// parallel build (ParIndexOn) one shard per worker. After construction the
+// index is read-only, so lookups from many goroutines need no locking.
 type Index struct {
-	Cols    []int
-	buckets map[string][]Tuple
+	Cols   []int
+	shards []map[string][]Tuple // disjoint by key hash; len is a power of two
+	mask   uint32               // len(shards) - 1
+}
+
+// shardHash is FNV-1a over the key bytes; it routes a key to its shard.
+func shardHash(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (ix *Index) shardFor(key string) map[string][]Tuple {
+	if ix.mask == 0 {
+		return ix.shards[0]
+	}
+	return ix.shards[shardHash(key)&ix.mask]
 }
 
 // Lookup returns all indexed tuples whose key columns encode to key.
-func (ix *Index) Lookup(key string) []Tuple { return ix.buckets[key] }
+func (ix *Index) Lookup(key string) []Tuple { return ix.shardFor(key)[key] }
 
 // LookupTuple projects probe onto probeCols and returns the matching bucket.
 func (ix *Index) LookupTuple(probe Tuple, probeCols []int) []Tuple {
-	return ix.buckets[probe.Key(probeCols)]
+	return ix.Lookup(probe.Key(probeCols))
 }
 
 // Buckets returns the number of distinct keys in the index.
-func (ix *Index) Buckets() int { return len(ix.buckets) }
+func (ix *Index) Buckets() int {
+	n := 0
+	for _, s := range ix.shards {
+		n += len(s)
+	}
+	return n
+}
 
 // IndexOn builds (or returns the cached) hash index on the given columns.
+// It is safe to call from multiple goroutines; concurrent builds on the
+// same relation are serialized and the first result is shared.
 func (r *Relation) IndexOn(cols []int) *Index {
+	return r.indexOn(cols, 1)
+}
+
+// ParIndexOn is IndexOn with the build parallelized over par workers:
+// tuple keys are encoded in parallel chunks, then the buckets are built as
+// par hash-disjoint shards, one goroutine each. The resulting merged view
+// answers Lookup without locks and is cached like a sequential index.
+func (r *Relation) ParIndexOn(cols []int, par int) *Index {
+	return r.indexOn(cols, par)
+}
+
+func (r *Relation) indexOn(cols []int, par int) *Index {
 	sig := fmt.Sprint(cols)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.indexes == nil {
 		r.indexes = make(map[string]*Index)
 	}
 	if ix, ok := r.indexes[sig]; ok {
 		return ix
 	}
-	ix := &Index{Cols: append([]int(nil), cols...), buckets: make(map[string][]Tuple, len(r.Tuples))}
-	for _, t := range r.Tuples {
-		k := t.Key(cols)
-		ix.buckets[k] = append(ix.buckets[k], t)
+	if par < 2 || len(r.Tuples) < 1024 {
+		ix := &Index{Cols: append([]int(nil), cols...),
+			shards: []map[string][]Tuple{make(map[string][]Tuple, len(r.Tuples))}}
+		for _, t := range r.Tuples {
+			k := t.Key(cols)
+			ix.shards[0][k] = append(ix.shards[0][k], t)
+		}
+		r.indexes[sig] = ix
+		return ix
 	}
+	ix := buildSharded(r.Tuples, cols, par)
 	r.indexes[sig] = ix
+	return ix
+}
+
+// buildSharded builds the index in two parallel phases: encode all keys in
+// chunks, then insert into hash-disjoint shards, one worker per shard.
+func buildSharded(tuples []Tuple, cols []int, par int) *Index {
+	if par > runtime.GOMAXPROCS(0) {
+		par = runtime.GOMAXPROCS(0)
+	}
+	shardCount := 1
+	for shardCount < par {
+		shardCount <<= 1
+	}
+	keys := make([]string, len(tuples))
+	var wg sync.WaitGroup
+	chunk := (len(tuples) + par - 1) / par
+	for w := 0; w < par; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(tuples) {
+			hi = len(tuples)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				keys[i] = tuples[i].Key(cols)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	ix := &Index{Cols: append([]int(nil), cols...),
+		shards: make([]map[string][]Tuple, shardCount),
+		mask:   uint32(shardCount - 1)}
+	for s := 0; s < shardCount; s++ {
+		wg.Add(1)
+		go func(s uint32) {
+			defer wg.Done()
+			m := make(map[string][]Tuple, len(tuples)/shardCount+1)
+			for i, k := range keys {
+				if shardHash(k)&ix.mask == s {
+					m[k] = append(m[k], tuples[i])
+				}
+			}
+			ix.shards[s] = m
+		}(uint32(s))
+	}
+	wg.Wait()
 	return ix
 }
 
@@ -263,6 +388,54 @@ func Semijoin(r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
 		if len(ix.LookupTuple(t, rCols)) > 0 {
 			out.Tuples = append(out.Tuples, t)
 		}
+	}
+	return out
+}
+
+// ParSemijoin is Semijoin with the index build sharded over par workers and
+// the probe pass chunked over par goroutines. The output tuple order is
+// identical to the sequential Semijoin (chunk results are concatenated in
+// input order), so parallel and sequential engines are diff-testable.
+func ParSemijoin(r *Relation, rCols []int, s *Relation, sCols []int, par int) *Relation {
+	if par < 2 || len(r.Tuples) < 1024 {
+		ix := s.ParIndexOn(sCols, par)
+		out := NewRelation(r.Name, r.Arity)
+		for _, t := range r.Tuples {
+			if len(ix.LookupTuple(t, rCols)) > 0 {
+				out.Tuples = append(out.Tuples, t)
+			}
+		}
+		return out
+	}
+	ix := s.ParIndexOn(sCols, par)
+	chunk := (len(r.Tuples) + par - 1) / par
+	parts := make([][]Tuple, par)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(r.Tuples) {
+			hi = len(r.Tuples)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var keep []Tuple
+			for _, t := range r.Tuples[lo:hi] {
+				if len(ix.LookupTuple(t, rCols)) > 0 {
+					keep = append(keep, t)
+				}
+			}
+			parts[w] = keep
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := NewRelation(r.Name, r.Arity)
+	for _, p := range parts {
+		out.Tuples = append(out.Tuples, p...)
 	}
 	return out
 }

@@ -263,3 +263,97 @@ func TestRelationCloneIndependent(t *testing.T) {
 		t.Errorf("relation clone aliases tuples")
 	}
 }
+
+func TestTryInsertArityError(t *testing.T) {
+	r := NewRelation("R", 2)
+	if err := r.TryInsert(Tuple{1, 2, 3}); err == nil {
+		t.Error("TryInsert accepted an arity mismatch")
+	}
+	if err := r.TryInsert(Tuple{1, 2}); err != nil {
+		t.Errorf("TryInsert rejected a valid tuple: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("len after failed insert: want 1, got %d", r.Len())
+	}
+}
+
+func randomRel(seed int64, name string, n, dom int) *Relation {
+	r := NewRelation(name, 2)
+	s := uint64(seed)
+	next := func() int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int(s>>33) % dom
+	}
+	for i := 0; i < n; i++ {
+		r.InsertValues(Value(next()+1), Value(next()+1))
+	}
+	r.Dedup()
+	return r
+}
+
+func TestParIndexOnMatchesIndexOn(t *testing.T) {
+	// Above the sharding threshold so the parallel path is really taken.
+	r := randomRel(1, "R", 5000, 300)
+	seq := NewRelation("R", 2)
+	seq.Tuples = r.Tuples
+	ixSeq := seq.IndexOn([]int{1})
+	ixPar := r.ParIndexOn([]int{1}, 4)
+	if ixSeq.Buckets() != ixPar.Buckets() {
+		t.Fatalf("bucket count: seq %d, par %d", ixSeq.Buckets(), ixPar.Buckets())
+	}
+	for _, tu := range r.Tuples {
+		k := tu.Key([]int{1})
+		a, b := ixSeq.Lookup(k), ixPar.Lookup(k)
+		if len(a) != len(b) {
+			t.Fatalf("key %q: seq %d tuples, par %d", k, len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("key %q tuple %d: %v vs %v", k, i, a[i], b[i])
+			}
+		}
+	}
+	if got := r.ParIndexOn([]int{1}, 4); got != ixPar {
+		t.Error("ParIndexOn did not cache")
+	}
+}
+
+func TestParSemijoinMatchesSemijoin(t *testing.T) {
+	for _, n := range []int{50, 5000} { // below and above the parallel threshold
+		r := randomRel(2, "R", n, 97)
+		s := randomRel(3, "S", n, 97)
+		want := Semijoin(r, []int{1}, s, []int{0})
+		for _, p := range []int{1, 2, 4, 8} {
+			rc := NewRelation("R", 2)
+			rc.Tuples = r.Tuples
+			sc := NewRelation("S", 2)
+			sc.Tuples = s.Tuples
+			got := ParSemijoin(rc, []int{1}, sc, []int{0}, p)
+			if got.Len() != want.Len() {
+				t.Fatalf("n=%d par=%d: %d tuples, want %d", n, p, got.Len(), want.Len())
+			}
+			for i := range want.Tuples {
+				if !got.Tuples[i].Equal(want.Tuples[i]) {
+					t.Fatalf("n=%d par=%d: tuple %d order differs: %v vs %v",
+						n, p, i, got.Tuples[i], want.Tuples[i])
+				}
+			}
+		}
+	}
+}
+
+func TestIndexOnConcurrent(t *testing.T) {
+	r := randomRel(4, "R", 3000, 50)
+	done := make(chan *Index, 8)
+	for w := 0; w < 8; w++ {
+		cols := []int{w % 2}
+		go func(cols []int) { done <- r.IndexOn(cols) }(cols)
+	}
+	seen := map[*Index]bool{}
+	for w := 0; w < 8; w++ {
+		seen[<-done] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("concurrent IndexOn built %d distinct indexes, want 2 (one per column set)", len(seen))
+	}
+}

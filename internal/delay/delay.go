@@ -7,6 +7,7 @@
 package delay
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/database"
@@ -72,12 +73,15 @@ func Collect(e Enumerator) []database.Tuple {
 // Counter counts elementary RAM steps. Engines call Tick at each elementary
 // operation (index probe, cursor advance, comparison). A nil Counter is
 // valid and counts nothing, so instrumentation is zero-cost to disable.
-type Counter struct{ steps int64 }
+// Tick and Steps are goroutine-safe, so one counter may be shared by the
+// workers of a parallel engine: the counted total is the paper's sequential
+// work bound regardless of how the work is spread over cores.
+type Counter struct{ steps atomic.Int64 }
 
 // Tick records n elementary steps.
 func (c *Counter) Tick(n int64) {
 	if c != nil {
-		c.steps += n
+		c.steps.Add(n)
 	}
 }
 
@@ -86,7 +90,7 @@ func (c *Counter) Steps() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.steps
+	return c.steps.Load()
 }
 
 // Stats summarizes an instrumented enumeration run.
@@ -107,11 +111,15 @@ type Stats struct {
 // Measure runs build (the preprocessing phase, which returns an enumerator
 // sharing the given counter) and drains the enumerator, recording
 // per-output delays. It reports the stats and the collected answers.
+// The counter need not be fresh: Measure snapshots it at entry and reports
+// only the steps recorded during this run, so a counter may be reused
+// across measurements.
 func Measure(c *Counter, build func() Enumerator) (Stats, []database.Tuple) {
 	var s Stats
+	base := c.Steps()
 	t0 := time.Now()
 	e := build()
-	s.PreprocessSteps = c.Steps()
+	s.PreprocessSteps = c.Steps() - base
 	s.PreprocessTime = time.Since(t0)
 
 	var out []database.Tuple
@@ -135,7 +143,7 @@ func Measure(c *Counter, build func() Enumerator) (Stats, []database.Tuple) {
 		s.Outputs++
 		out = append(out, t.Clone())
 	}
-	s.TotalSteps = c.Steps() - s.PreprocessSteps
+	s.TotalSteps = c.Steps() - base - s.PreprocessSteps
 	s.TotalTime = time.Since(t0) - s.PreprocessTime
 	return s, out
 }
