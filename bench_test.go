@@ -24,6 +24,7 @@ import (
 	"repro/internal/graphs"
 	"repro/internal/ineq"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 	"repro/internal/mso"
 	"repro/internal/ncq"
 	"repro/internal/prefix"
@@ -122,8 +123,8 @@ func BenchmarkE2LowDegree(b *testing.B) {
 // ---- E3: MSO on trees (Theorems 3.11/3.12) ----
 
 func BenchmarkE3MSOTrees(b *testing.B) {
-	mcF := logic.MustParseFormula("forall x. (Leaf(x) -> exists y. Child(y,x))")
-	setF := logic.MustParseFormula("(exists z. z in X) and forall y. (y in X -> a(y))")
+	mcF := logictest.MustParseFormula("forall x. (Leaf(x) -> exists y. Child(y,x))")
+	setF := logictest.MustParseFormula("(exists z. z in X) and forall y. (y in X -> a(y))")
 	for _, n := range []int{1000, 8000} {
 		labels := make([]int, n)
 		for i := range labels {
@@ -163,7 +164,7 @@ func BenchmarkE3MSOTrees(b *testing.B) {
 // ---- E4: Yannakakis (Theorem 4.2) ----
 
 func BenchmarkE4Yannakakis(b *testing.B) {
-	q := logic.MustParseCQ("Q(x,w) :- R(x,y), S(y,z), T(z,w).")
+	q := logictest.MustParseCQ("Q(x,w) :- R(x,y), S(y,z), T(z,w).")
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range []int{1 << 12, 1 << 14} {
 		db := database.NewDatabase()
@@ -178,7 +179,7 @@ func BenchmarkE4Yannakakis(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("Decide/n=%d", n), func(b *testing.B) {
-			bq := logic.MustParseCQ("B() :- R(x,y), S(y,z), T(z,w).")
+			bq := logictest.MustParseCQ("B() :- R(x,y), S(y,z), T(z,w).")
 			for i := 0; i < b.N; i++ {
 				if _, err := cq.Decide(db, bq); err != nil {
 					b.Fatal(err)
@@ -206,7 +207,7 @@ func e5DB(n int) *database.Database {
 }
 
 func BenchmarkE5Delay(b *testing.B) {
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
 	for _, n := range []int{1 << 12, 1 << 14} {
 		db := e5DB(n)
 		b.Run(fmt.Sprintf("ConstantDelay/n=%d", n), func(b *testing.B) {
@@ -335,7 +336,7 @@ func BenchmarkE10CliqueEncoding(b *testing.B) {
 // ---- E11: ACQ≠ enumeration (Theorem 4.20) ----
 
 func BenchmarkE11Disequalities(b *testing.B) {
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z), x != z.")
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z), x != z.")
 	for _, n := range []int{2000, 8000} {
 		db := database.NewDatabase()
 		a := database.NewRelation("A", 2)
@@ -364,7 +365,7 @@ func BenchmarkE11Disequalities(b *testing.B) {
 
 func BenchmarkE12WeightedCount(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
-	q := logic.MustParseCQ("Q(x,y,z) :- R(x,y), S(y,z).")
+	q := logictest.MustParseCQ("Q(x,y,z) :- R(x,y), S(y,z).")
 	for _, n := range []int{1 << 12, 1 << 14} {
 		db := database.NewDatabase()
 		db.AddRelation(graphs.RandomRelation(rng, "R", 2, n, n/2))
@@ -447,7 +448,7 @@ func BenchmarkE14BetaAcyclic(b *testing.B) {
 
 func BenchmarkE15Prefix(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
-	f0 := logic.MustParseFormula("E(x,y) and x in X and not y in X")
+	f0 := logictest.MustParseFormula("E(x,y) and x in X and not y in X")
 	for _, n := range []int{10, 14} {
 		db := graphs.EdgesToDB(graphs.RandomBoundedDegree(rng, n, 3), n)
 		b.Run(fmt.Sprintf("CountSigma0/n=%d", n), func(b *testing.B) {
@@ -473,7 +474,7 @@ func BenchmarkE15Prefix(b *testing.B) {
 		}
 	})
 	db := graphs.EdgesToDB(graphs.Cycle(10), 10)
-	g0 := logic.MustParseFormula("V(x) and x in X")
+	g0 := logictest.MustParseFormula("V(x) and x in X")
 	b.Run("GrayEnumSigma0/n=10", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e, err := prefix.EnumerateSigma0(db, g0, nil)
@@ -483,7 +484,7 @@ func BenchmarkE15Prefix(b *testing.B) {
 			prefix.CollectSetAnswers(e)
 		}
 	})
-	g1 := logic.MustParseFormula("exists x. (x in X and V(x))")
+	g1 := logictest.MustParseFormula("exists x. (x in X and V(x))")
 	db8 := graphs.EdgesToDB(graphs.Cycle(8), 8)
 	b.Run("FlashlightSigma1/n=8", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -510,7 +511,7 @@ func BenchmarkE16NaiveFO(b *testing.B) {
 				parts = append(parts, fmt.Sprintf("(E(x%d,x%d) and not x%d = x%d)", i, j, i, j))
 			}
 		}
-		f := logic.MustParseFormula(joinAnd(parts))
+		f := logictest.MustParseFormula(joinAnd(parts))
 		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				logic.EvalFO(db, f, vars)
@@ -530,7 +531,7 @@ func joinAnd(parts []string) string {
 // ---- E17 (extension): random access / random order enumeration [23] ----
 
 func BenchmarkE17RandomAccess(b *testing.B) {
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
 	for _, n := range []int{1 << 12, 1 << 16} {
 		db := e5DB(n)
 		b.Run(fmt.Sprintf("Build/n=%d", n), func(b *testing.B) {
@@ -648,7 +649,7 @@ func BenchmarkAblationReducerPasses(b *testing.B) {
 	for _, name := range []string{"R", "S", "T"} {
 		db.AddRelation(graphs.RandomRelation(rng, name, 2, n, n/2))
 	}
-	bq := logic.MustParseCQ("B() :- R(x,y), S(y,z), T(z,w).")
+	bq := logictest.MustParseCQ("B() :- R(x,y), S(y,z), T(z,w).")
 	b.Run("BottomUpOnly(Decide)", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := cq.Decide(db, bq); err != nil {
@@ -685,7 +686,7 @@ func BenchmarkAblationCountVsMaterialize(b *testing.B) {
 	s.Dedup()
 	db.AddRelation(r)
 	db.AddRelation(s)
-	q := logic.MustParseCQ("Q(x,y,z) :- R(x,y), S(y,z).")
+	q := logictest.MustParseCQ("Q(x,y,z) :- R(x,y), S(y,z).")
 	bi := counting.BigInt{}
 	b.Run("CountingDP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

@@ -182,8 +182,8 @@ func e2() {
 func e3() {
 	fmt.Println("MSO over path trees: MC φ = ∀x(Leaf(x) → ∃y Child(y,x)); count/enum over set query")
 	fmt.Printf("%-8s %-12s %-12s %-14s %-22s\n", "n", "mcTime", "mcTime/n", "countTime", "enum: answers, maxΔsteps")
-	mcF := logic.MustParseFormula("forall x. (Leaf(x) -> exists y. Child(y,x))")
-	setF := logic.MustParseFormula("(exists z. z in X) and forall y. (y in X -> a(y))")
+	mcF := mustFormula("forall x. (Leaf(x) -> exists y. Child(y,x))")
+	setF := mustFormula("(exists z. z in X) and forall y. (y in X -> a(y))")
 	for _, n := range sizes([]int{1000, 4000, 16000, 32000}, []int{500, 2000}) {
 		labels := make([]int, n)
 		for i := range labels {
@@ -235,7 +235,7 @@ func e3() {
 func e4() {
 	fmt.Println("3-chain query Q(x,w) :- R(x,y), S(y,z), T(z,w) over random relations")
 	fmt.Printf("%-8s %-10s %-12s %-16s\n", "|R|", "answers", "evalTime", "time/(‖D‖+out)ns")
-	q := logic.MustParseCQ("Q(x,w) :- R(x,y), S(y,z), T(z,w).")
+	q := mustCQ("Q(x,w) :- R(x,y), S(y,z), T(z,w).")
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range sizes([]int{1 << 12, 1 << 14, 1 << 16}, []int{1 << 10, 1 << 12}) {
 		db := database.NewDatabase()
@@ -258,7 +258,7 @@ func e4() {
 func e5() {
 	fmt.Println("free-connex Q(x,y) :- A(x,y), B(y,z): constant- vs linear-delay enumeration")
 	fmt.Printf("%-8s %-10s %-14s %-14s %-14s %-14s\n", "n", "answers", "constMaxΔ", "constPrep", "linMaxΔ", "linPrep")
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	q := mustCQ("Q(x,y) :- A(x,y), B(y,z).")
 	for _, n := range sizes([]int{1 << 12, 1 << 14, 1 << 16}, []int{1 << 10, 1 << 12}) {
 		db := database.NewDatabase()
 		a := database.NewRelation("A", 2)
@@ -467,7 +467,7 @@ func e11() {
 	// ACQ≠ constant-delay enumeration sweep.
 	fmt.Println("\nACQ≠ Q(x,y) :- A(x,y), B(y,z), x != z  (disequality with a quantified variable)")
 	fmt.Printf("%-8s %-10s %-14s %-12s\n", "n", "answers", "avgΔsteps", "prep")
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z), x != z.")
+	q := mustCQ("Q(x,y) :- A(x,y), B(y,z), x != z.")
 	for _, n := range sizes([]int{2000, 8000, 32000}, []int{500, 2000}) {
 		db := database.NewDatabase()
 		a := database.NewRelation("A", 2)
@@ -499,7 +499,7 @@ func e12() {
 	fmt.Println("♯FACQ⁰: weighted counting of the projection-free chain Q(x,y,z) :- R(x,y), S(y,z)")
 	fmt.Printf("%-8s %-14s %-14s %-14s %-14s\n", "n", "count", "bigint", "GF(2^61-1)", "rationals")
 	rng := rand.New(rand.NewSource(7))
-	q := logic.MustParseCQ("Q(x,y,z) :- R(x,y), S(y,z).")
+	q := mustCQ("Q(x,y,z) :- R(x,y), S(y,z).")
 	for _, n := range sizes([]int{1 << 12, 1 << 14, 1 << 16}, []int{1 << 10, 1 << 12}) {
 		db := database.NewDatabase()
 		db.AddRelation(graphs.RandomRelation(rng, "R", 2, n, n/2))
@@ -600,7 +600,7 @@ func e15() {
 	rng := rand.New(rand.NewSource(11))
 	fmt.Println("exact #Σ0: count (x,X) with  E(x,y)∧x∈X∧y∉X  over random graphs")
 	fmt.Printf("%-8s %-16s %-12s\n", "n", "count", "time")
-	f0 := logic.MustParseFormula("E(x,y) and x in X and not y in X")
+	f0 := mustFormula("E(x,y) and x in X and not y in X")
 	for _, n := range sizes([]int{8, 12, 16}, []int{6, 10}) {
 		db := graphs.EdgesToDB(graphs.RandomBoundedDegree(rng, n, 3), n)
 		t0 := time.Now()
@@ -627,7 +627,7 @@ func e15() {
 
 	fmt.Println("\nenum·Σ0 with Gray-code delta-constant delay:  V(x) ∧ x∈X")
 	db := graphs.EdgesToDB(graphs.Cycle(10), 10)
-	e0, err := prefix.EnumerateSigma0(db, logic.MustParseFormula("V(x) and x in X"), nil)
+	e0, err := prefix.EnumerateSigma0(db, mustFormula("V(x) and x in X"), nil)
 	check(err)
 	answers := prefix.CollectSetAnswers(e0)
 	maxDelta := 0
@@ -641,7 +641,7 @@ func e15() {
 	fmt.Println("\nenum·Σ1 with polynomial delay (flashlight):  ∃x (x∈X ∧ V(x))")
 	c := &delay.Counter{}
 	e1s, err := prefix.EnumerateSigma1(graphs.EdgesToDB(graphs.Cycle(8), 8),
-		logic.MustParseFormula("exists x. (x in X and V(x))"), c)
+		mustFormula("exists x. (x in X and V(x))"), c)
 	check(err)
 	n1 := len(prefix.CollectSetAnswers(e1s))
 	fmt.Printf("n=8: %d answers (= 2^8 − 1 nonempty sets), %d total steps, %.1f steps/answer\n",
@@ -666,7 +666,7 @@ func e16() {
 					parts = append(parts, fmt.Sprintf("(E(x%d,x%d) and not x%d = x%d)", i, j, i, j))
 				}
 			}
-			f := logic.MustParseFormula(strings.Join(parts, " and "))
+			f := mustFormula(strings.Join(parts, " and "))
 			t0 := time.Now()
 			res := logic.EvalFO(db, f, vars)
 			fmt.Printf("%-4d %-8d %-10d %-12v\n", h, n, len(res), time.Since(t0).Round(time.Microsecond))
@@ -682,7 +682,7 @@ func e17() {
 	fmt.Println("random access into φ(D) for free-connex Q(x,y) :- A(x,y), B(y,z):")
 	fmt.Println("build once (linear + counting pass), then Get(i) in O(‖φ‖·log‖D‖)")
 	fmt.Printf("%-8s %-10s %-12s %-14s %-18s\n", "n", "answers", "buildTime", "avgGet(1k)", "vs skip-enumerate")
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	q := mustCQ("Q(x,y) :- A(x,y), B(y,z).")
 	rng := rand.New(rand.NewSource(13))
 	for _, n := range sizes([]int{1 << 12, 1 << 14, 1 << 16}, []int{1 << 10, 1 << 12}) {
 		db := database.NewDatabase()
@@ -784,3 +784,22 @@ func check(err error) {
 }
 
 var _ = os.Exit
+
+// mustCQ and mustFormula parse the benchmark's fixed query strings,
+// aborting the run on error (a typo in a benchmark query is a programming
+// mistake, not a user-input condition).
+func mustCQ(src string) *logic.CQ {
+	q, err := logic.ParseCQ(src)
+	if err != nil {
+		log.Fatalf("qbench: bad query %q: %v", src, err)
+	}
+	return q
+}
+
+func mustFormula(src string) logic.Formula {
+	f, err := logic.ParseFormula(src)
+	if err != nil {
+		log.Fatalf("qbench: bad formula %q: %v", src, err)
+	}
+	return f
+}

@@ -34,7 +34,7 @@ func main() {
 	}
 	fmt.Println("--- model checking ---")
 	for _, src := range sentences {
-		ok, err := mso.ModelCheck(tree, logic.MustParseFormula(src))
+		ok, err := mso.ModelCheck(tree, mustFormula(src))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +48,7 @@ func main() {
 		"forall y. (y in X -> a(y))",
 	}
 	for _, src := range openQueries {
-		n, err := mso.Count(tree, logic.MustParseFormula(src))
+		n, err := mso.Count(tree, mustFormula(src))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +58,7 @@ func main() {
 	// Enumeration with output-linear delay.
 	fmt.Println("\n--- enumeration (first 3 solutions of a set query) ---")
 	c := &delay.Counter{}
-	e, err := mso.Enumerate(tree, logic.MustParseFormula(
+	e, err := mso.Enumerate(tree, mustFormula(
 		"(exists z. z in X) and forall y. (y in X -> (a(y) and Leaf(y)))"), c)
 	if err != nil {
 		log.Fatal(err)
@@ -71,4 +71,13 @@ func main() {
 		fmt.Printf("X = %v\n", a.Sets["X"])
 	}
 	fmt.Printf("steps so far: %d (delay scales with output size, Theorem 3.12)\n", c.Steps())
+}
+
+// mustFormula parses one of the example's fixed formulas, aborting on error.
+func mustFormula(src string) logic.Formula {
+	f, err := logic.ParseFormula(src)
+	if err != nil {
+		log.Fatalf("bad formula %q: %v", src, err)
+	}
+	return f
 }

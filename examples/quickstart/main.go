@@ -40,7 +40,10 @@ func main() {
 	db.AddRelation(category)
 
 	// Who bought something, and in which category?
-	q := logic.MustParseCQ("Q(who, kind) :- bought(who, p), category(p, kind).")
+	q, err := logic.ParseCQ("Q(who, kind) :- bought(who, p), category(p, kind).")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 1. Classification (Theorem 4.2 / 4.6 / 4.28 verdicts).
 	fmt.Println("--- analysis ---")

@@ -36,7 +36,10 @@ func main() {
 
 	// "Pairs (a,b) where a follows b and b is verified and follows someone"
 	// — free-connex, so Constant-Delay_lin applies (Theorem 4.6).
-	q := logic.MustParseCQ("Q(a,b) :- follows(a,b), verified(b), follows(b,c).")
+	q, err := logic.ParseCQ("Q(a,b) :- follows(a,b), verified(b), follows(b,c).")
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !q.IsFreeConnex() {
 		log.Fatal("expected a free-connex query")
 	}

@@ -133,7 +133,14 @@ func MultiplyBitset(a, b *Matrix) *Matrix {
 // PiQuery is Π(x,y) = ∃z A(x,z) ∧ B(z,y) (Example 4.5) — acyclic but not
 // free-connex.
 func PiQuery() *logic.CQ {
-	return logic.MustParseCQ("Pi(x,y) :- A(x,z), B(z,y).")
+	return &logic.CQ{
+		Name: "Pi",
+		Head: []string{"x", "y"},
+		Atoms: []logic.Atom{
+			logic.NewAtom("A", "x", "z"),
+			logic.NewAtom("B", "z", "y"),
+		},
+	}
 }
 
 // MatricesDB builds the database D_BM of Section 4.1.2: RA and RB hold the
@@ -185,7 +192,15 @@ func MultiplyViaQuery(a, b *Matrix, c *delay.Counter) (*Matrix, error) {
 // works either way.) Head order (x1,x2) first so answers project onto
 // Π(D_BM).
 func HardQuery() *logic.CQ {
-	return logic.MustParseCQ("Phi(x1,x2,x4) :- E(x1,x4), S(x1,x1,x3), T(x3,x2,x4).")
+	return &logic.CQ{
+		Name: "Phi",
+		Head: []string{"x1", "x2", "x4"},
+		Atoms: []logic.Atom{
+			logic.NewAtom("E", "x1", "x4"),
+			logic.NewAtom("S", "x1", "x1", "x3"),
+			logic.NewAtom("T", "x3", "x2", "x4"),
+		},
+	}
 }
 
 // HardQueryDB builds the Example 4.7 database: E = {(a,⊥)}, S = {(a,a,b) :

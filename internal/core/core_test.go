@@ -9,6 +9,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/delay"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 func TestAnalyzeVerdicts(t *testing.T) {
@@ -24,7 +25,7 @@ func TestAnalyzeVerdicts(t *testing.T) {
 		{"Q() :- E(x,y), E(y,z), E(z,x).", false, false, 0, "Hyperclique"},
 	}
 	for _, c := range cases {
-		r := Analyze(logic.MustParseCQ(c.src))
+		r := Analyze(logictest.MustParseCQ(c.src))
 		if r.Acyclic != c.acyclic || r.FreeConnex != c.freeConnex {
 			t.Errorf("%s: acyclic=%v freeConnex=%v", c.src, r.Acyclic, r.FreeConnex)
 		}
@@ -39,11 +40,11 @@ func TestAnalyzeVerdicts(t *testing.T) {
 		}
 	}
 	// Order comparisons and negation verdicts.
-	r := Analyze(logic.MustParseCQ("Q(x) :- E(x,y), x < y."))
+	r := Analyze(logictest.MustParseCQ("Q(x) :- E(x,y), x < y."))
 	if !r.HasOrder || !strings.Contains(r.DecisionVerdict, "W[1]") {
 		t.Errorf("order verdict: %+v", r.DecisionVerdict)
 	}
-	rn := Analyze(logic.MustParseCQ("Q() :- !R(x,y), !S(y,z)."))
+	rn := Analyze(logictest.MustParseCQ("Q() :- !R(x,y), !S(y,z)."))
 	if !rn.HasNegation || !strings.Contains(rn.DecisionVerdict, "quasi-linear") {
 		t.Errorf("negation verdict: %+v", rn.DecisionVerdict)
 	}
@@ -87,7 +88,7 @@ func TestDispatchAgainstNaive(t *testing.T) {
 	}
 	for trial := 0; trial < 30; trial++ {
 		for _, src := range queries {
-			q := logic.MustParseCQ(src)
+			q := logictest.MustParseCQ(src)
 			db := randomDB(rng, q)
 			want := q.EvalNaive(db)
 
@@ -122,7 +123,7 @@ func TestDispatchAgainstNaive(t *testing.T) {
 
 func TestDecideNCQ(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	q := logic.MustParseCQ("Q() :- !R(x,y), !S(y,z).")
+	q := logictest.MustParseCQ("Q() :- !R(x,y), !S(y,z).")
 	for trial := 0; trial < 30; trial++ {
 		db := randomDB(rng, q)
 		got, err := Decide(db, q)
@@ -147,7 +148,7 @@ func TestSignedQueries(t *testing.T) {
 	}
 	for trial := 0; trial < 25; trial++ {
 		for _, src := range queries {
-			q := logic.MustParseCQ(src)
+			q := logictest.MustParseCQ(src)
 			db := randomDB(rng, q)
 			want := q.EvalNaive(db)
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/graphs"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 func TestSemiringLaws(t *testing.T) {
@@ -50,7 +51,7 @@ func TestCountQuantifierFreeSimple(t *testing.T) {
 		e.InsertValues(p[0], p[1])
 	}
 	db.AddRelation(e)
-	q := logic.MustParseCQ("Q(x,y,z) :- E(x,y), E(y,z).")
+	q := logictest.MustParseCQ("Q(x,y,z) :- E(x,y), E(y,z).")
 	s := BigInt{}
 	got, err := CountQuantifierFree(db, q, UnitWeight(s), s)
 	if err != nil {
@@ -61,7 +62,7 @@ func TestCountQuantifierFreeSimple(t *testing.T) {
 		t.Errorf("count = %s, want %s", s.String(got), want)
 	}
 	// Rejects projected queries.
-	if _, err := CountQuantifierFree(db, logic.MustParseCQ("Q(x) :- E(x,y)."), UnitWeight(s), s); err == nil {
+	if _, err := CountQuantifierFree(db, logictest.MustParseCQ("Q(x) :- E(x,y)."), UnitWeight(s), s); err == nil {
 		t.Errorf("projection must be rejected by the quantifier-free counter")
 	}
 }
@@ -72,7 +73,7 @@ func TestCountWeighted(t *testing.T) {
 	e.InsertValues(1, 2)
 	e.InsertValues(1, 3)
 	db.AddRelation(e)
-	q := logic.MustParseCQ("Q(x,y) :- E(x,y).")
+	q := logictest.MustParseCQ("Q(x,y) :- E(x,y).")
 	s := Float64{}
 	w := func(v database.Value) interface{} { return float64(v) }
 	got, err := CountQuantifierFree(db, q, w, s)
@@ -200,27 +201,27 @@ func TestCountBooleanAndErrors(t *testing.T) {
 	e.InsertValues(1, 2)
 	db.AddRelation(e)
 	s := BigInt{}
-	got, err := Count(db, logic.MustParseCQ("B() :- E(x,y)."), UnitWeight(s), s)
+	got, err := Count(db, logictest.MustParseCQ("B() :- E(x,y)."), UnitWeight(s), s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !s.Eq(got, big.NewInt(1)) {
 		t.Errorf("true Boolean count = %s, want 1", s.String(got))
 	}
-	got, err = Count(db, logic.MustParseCQ("B() :- E(x,x)."), UnitWeight(s), s)
+	got, err = Count(db, logictest.MustParseCQ("B() :- E(x,x)."), UnitWeight(s), s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !s.Eq(got, big.NewInt(0)) {
 		t.Errorf("false Boolean count = %s, want 0", s.String(got))
 	}
-	if _, err := Count(db, logic.MustParseCQ("Q() :- E(x,y), E(y,z), E(z,x)."), UnitWeight(s), s); err == nil {
+	if _, err := Count(db, logictest.MustParseCQ("Q() :- E(x,y), E(y,z), E(z,x)."), UnitWeight(s), s); err == nil {
 		t.Errorf("cyclic query must be rejected")
 	}
-	if _, err := Count(db, logic.MustParseCQ("Q(x) :- E(x,y), x != y."), UnitWeight(s), s); err == nil {
+	if _, err := Count(db, logictest.MustParseCQ("Q(x) :- E(x,y), x != y."), UnitWeight(s), s); err == nil {
 		t.Errorf("comparisons must be rejected")
 	}
-	if _, err := Count(db, logic.MustParseCQ("Q(w) :- E(x,y)."), UnitWeight(s), s); err == nil {
+	if _, err := Count(db, logictest.MustParseCQ("Q(w) :- E(x,y)."), UnitWeight(s), s); err == nil {
 		t.Errorf("unsafe query must be rejected")
 	}
 }
@@ -231,7 +232,7 @@ func TestCountIntString(t *testing.T) {
 	e.InsertValues(1, 2)
 	e.InsertValues(1, 3)
 	db.AddRelation(e)
-	got, err := CountInt(db, logic.MustParseCQ("Q(x) :- E(x,y)."))
+	got, err := CountInt(db, logictest.MustParseCQ("Q(x) :- E(x,y)."))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +348,7 @@ func TestCountFullJoinValidation(t *testing.T) {
 // leak into the total (the root sum iterates in sorted key order).
 func TestCountDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
-	q := logic.MustParseCQ("Q(x,y) :- R(x,y), S(y,z).")
+	q := logictest.MustParseCQ("Q(x,y) :- R(x,y), S(y,z).")
 	db := database.NewDatabase()
 	db.AddRelation(graphs.RandomRelation(rng, "R", 2, 500, 60))
 	db.AddRelation(graphs.RandomRelation(rng, "S", 2, 500, 60))

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/database"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 func TestCountNeqFixed(t *testing.T) {
@@ -27,7 +28,7 @@ func TestCountNeqFixed(t *testing.T) {
 		"Q(x,y) :- E(x,y), 1 != 1.",
 	}
 	for _, src := range cases {
-		q := logic.MustParseCQ(src)
+		q := logictest.MustParseCQ(src)
 		got, err := CountNeq(db, q)
 		if err != nil {
 			t.Fatalf("%s: %v", src, err)
@@ -38,10 +39,10 @@ func TestCountNeqFixed(t *testing.T) {
 		}
 	}
 	// Order comparisons and negation rejected.
-	if _, err := CountNeq(db, logic.MustParseCQ("Q(x) :- E(x,y), x < y.")); err == nil {
+	if _, err := CountNeq(db, logictest.MustParseCQ("Q(x) :- E(x,y), x < y.")); err == nil {
 		t.Errorf("order comparison must be rejected")
 	}
-	if _, err := CountNeq(db, logic.MustParseCQ("Q(x) :- E(x,y), !E(y,x).")); err == nil {
+	if _, err := CountNeq(db, logictest.MustParseCQ("Q(x) :- E(x,y), !E(y,x).")); err == nil {
 		t.Errorf("negation must be rejected")
 	}
 }
@@ -83,7 +84,7 @@ func TestCountNeqHeadConstants(t *testing.T) {
 	e.InsertValues(2, 2)
 	db.AddRelation(e)
 	// Forcing a head variable to a constant through an equality chain.
-	q := logic.MustParseCQ("Q(x,y) :- E(x,y), x = z, z = 2.")
+	q := logictest.MustParseCQ("Q(x,y) :- E(x,y), x = z, z = 2.")
 	got, err := CountNeq(db, q)
 	if err != nil {
 		t.Fatal(err)

@@ -8,11 +8,12 @@ import (
 
 	"repro/internal/database"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 func TestIntersectCQs(t *testing.T) {
-	a := logic.MustParseCQ("Q(x,y) :- R(x,z), S(z,y).")
-	b := logic.MustParseCQ("P(u,v) :- T(u,v).")
+	a := logictest.MustParseCQ("Q(x,y) :- R(x,z), S(z,y).")
+	b := logictest.MustParseCQ("P(u,v) :- T(u,v).")
 	q, err := IntersectCQs([]*logic.CQ{a, b})
 	if err != nil {
 		t.Fatal(err)
@@ -24,7 +25,7 @@ func TestIntersectCQs(t *testing.T) {
 		t.Fatalf("atoms: %v", q.Atoms)
 	}
 	// Repeated head variable forces position unification.
-	c := logic.MustParseCQ("R2(x,x) :- U(x).")
+	c := logictest.MustParseCQ("R2(x,x) :- U(x).")
 	q2, err := IntersectCQs([]*logic.CQ{a, c})
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +36,7 @@ func TestIntersectCQs(t *testing.T) {
 	if _, err := IntersectCQs(nil); err == nil {
 		t.Errorf("empty intersection must fail")
 	}
-	if _, err := IntersectCQs([]*logic.CQ{a, logic.MustParseCQ("P(x) :- T(x,x).")}); err == nil {
+	if _, err := IntersectCQs([]*logic.CQ{a, logictest.MustParseCQ("P(x) :- T(x,x).")}); err == nil {
 		t.Errorf("arity mismatch must fail")
 	}
 }
@@ -135,7 +136,7 @@ func TestCountUCQEdgeCases(t *testing.T) {
 	db.AddRelation(r)
 
 	// Union of identical disjuncts counts once.
-	u := logic.MustParseUCQ("Q(x,y) :- R(x,y); Q(a,b) :- R(a,b).")
+	u := logictest.MustParseUCQ("Q(x,y) :- R(x,y); Q(a,b) :- R(a,b).")
 	got, err := CountUCQ(db, u)
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +145,7 @@ func TestCountUCQEdgeCases(t *testing.T) {
 		t.Errorf("identical union: %s, want 2", got)
 	}
 	// Boolean union.
-	ub := logic.MustParseUCQ("Q() :- R(x,x); Q() :- R(x,y).")
+	ub := logictest.MustParseUCQ("Q() :- R(x,x); Q() :- R(x,y).")
 	got, err = CountUCQ(db, ub)
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +159,7 @@ func TestCountUCQEdgeCases(t *testing.T) {
 		t.Errorf("empty union: %s, %v", got, err)
 	}
 	// Negation rejected.
-	if _, err := CountUCQ(db, logic.MustParseUCQ("Q(x) :- R(x,y), !R(y,x).")); err == nil {
+	if _, err := CountUCQ(db, logictest.MustParseUCQ("Q(x) :- R(x,y), !R(y,x).")); err == nil {
 		t.Errorf("negation must be rejected")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/delay"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 // ----- helpers -----
@@ -134,7 +135,7 @@ func TestDecideAndEvalPath(t *testing.T) {
 	}
 	db.AddRelation(e)
 
-	q := logic.MustParseCQ("Q(x,z) :- E(x,y), E(y,z).")
+	q := logictest.MustParseCQ("Q(x,z) :- E(x,y), E(y,z).")
 	got, err := Eval(db, q)
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +143,7 @@ func TestDecideAndEvalPath(t *testing.T) {
 	want := q.EvalNaive(db)
 	equalAnswerSets(t, "path eval", got, want)
 
-	bq := logic.MustParseCQ("B() :- E(x,y), E(y,z), E(z,w).")
+	bq := logictest.MustParseCQ("B() :- E(x,y), E(y,z), E(z,w).")
 	ok, err := Decide(db, bq)
 	if err != nil {
 		t.Fatal(err)
@@ -150,7 +151,7 @@ func TestDecideAndEvalPath(t *testing.T) {
 	if !ok {
 		t.Errorf("three-step path exists")
 	}
-	bq4 := logic.MustParseCQ("B() :- E(x,y), E(y,z), E(z,w), E(w,u).")
+	bq4 := logictest.MustParseCQ("B() :- E(x,y), E(y,z), E(z,w), E(w,u).")
 	ok, err = Decide(db, bq4)
 	if err != nil {
 		t.Fatal(err)
@@ -163,16 +164,16 @@ func TestDecideAndEvalPath(t *testing.T) {
 func TestRejectsCyclicNegatedComparisons(t *testing.T) {
 	db := database.NewDatabase()
 	db.AddRelation(database.NewRelation("E", 2))
-	if _, err := Eval(db, logic.MustParseCQ("Q() :- E(x,y), E(y,z), E(z,x).")); err == nil {
+	if _, err := Eval(db, logictest.MustParseCQ("Q() :- E(x,y), E(y,z), E(z,x).")); err == nil {
 		t.Errorf("cyclic query must be rejected")
 	}
-	if _, err := Eval(db, logic.MustParseCQ("Q(x) :- E(x,y), !E(y,x).")); err == nil {
+	if _, err := Eval(db, logictest.MustParseCQ("Q(x) :- E(x,y), !E(y,x).")); err == nil {
 		t.Errorf("negated atoms must be rejected")
 	}
-	if _, err := Eval(db, logic.MustParseCQ("Q(x) :- E(x,y), x != y.")); err == nil {
+	if _, err := Eval(db, logictest.MustParseCQ("Q(x) :- E(x,y), x != y.")); err == nil {
 		t.Errorf("comparisons must be rejected")
 	}
-	if _, err := Eval(db, logic.MustParseCQ("Q(x,w) :- E(x,y).")); err == nil {
+	if _, err := Eval(db, logictest.MustParseCQ("Q(x,w) :- E(x,y).")); err == nil {
 		t.Errorf("unsafe head variable must be rejected")
 	}
 }
@@ -181,7 +182,7 @@ func TestRejectsCyclicNegatedComparisons(t *testing.T) {
 // naive evaluation.
 func TestFigure1QueryEnumeration(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	q := logic.MustParseCQ("Q(x1,x2,x3) :- R(x1,x2), S(x2,x3,y3), R(x1,y1), T(y3,y4,y5), S(x2,y2).")
+	q := logictest.MustParseCQ("Q(x1,x2,x3) :- R(x1,x2), S(x2,x3,y3), R(x1,y1), T(y3,y4,y5), S(x2,y2).")
 	if !q.IsFreeConnex() {
 		t.Fatalf("Figure 1 query must be free-connex")
 	}
@@ -190,7 +191,7 @@ func TestFigure1QueryEnumeration(t *testing.T) {
 	// used as ternary and binary — we rename the binary use).
 	// The paper's query uses S(x2,y2) with binary S; to stay faithful we
 	// give S arity 3 and use a separate binary relation for the last atom.
-	q = logic.MustParseCQ("Q(x1,x2,x3) :- R(x1,x2), S(x2,x3,y3), R(x1,y1), T(y3,y4,y5), S2(x2,y2).")
+	q = logictest.MustParseCQ("Q(x1,x2,x3) :- R(x1,x2), S(x2,x3,y3), R(x1,y1), T(y3,y4,y5), S2(x2,y2).")
 	db := randomDB(rng, q, 4, 20)
 	want := q.EvalNaive(db)
 
@@ -217,7 +218,7 @@ func TestFigure1QueryEnumeration(t *testing.T) {
 // Π(x,y) = ∃z A(x,z) ∧ B(z,y) is not free-connex: the constant-delay
 // enumerator must refuse it, the linear-delay one must handle it.
 func TestMatrixQueryNotConstantDelay(t *testing.T) {
-	q := logic.MustParseCQ("Pi(x,y) :- A(x,z), B(z,y).")
+	q := logictest.MustParseCQ("Pi(x,y) :- A(x,z), B(z,y).")
 	db := database.NewDatabase()
 	a := database.NewRelation("A", 2)
 	a.InsertValues(1, 5)
@@ -242,7 +243,7 @@ func TestBooleanEnumerators(t *testing.T) {
 	e := database.NewRelation("E", 2)
 	e.InsertValues(1, 2)
 	db.AddRelation(e)
-	q := logic.MustParseCQ("B() :- E(x,y).")
+	q := logictest.MustParseCQ("B() :- E(x,y).")
 	ce, err := EnumerateConstantDelay(db, q, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -251,7 +252,7 @@ func TestBooleanEnumerators(t *testing.T) {
 	if len(got) != 1 || len(got[0]) != 0 {
 		t.Errorf("true Boolean query: want one empty tuple, got %v", got)
 	}
-	qf := logic.MustParseCQ("B() :- E(x,x).")
+	qf := logictest.MustParseCQ("B() :- E(x,x).")
 	ce2, err := EnumerateConstantDelay(db, qf, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +268,7 @@ func TestEmptyRelationNoAnswers(t *testing.T) {
 	b := database.NewRelation("B", 2)
 	b.InsertValues(1, 2)
 	db.AddRelation(b)
-	q := logic.MustParseCQ("Q(x) :- A(x,z), B(z,y).")
+	q := logictest.MustParseCQ("Q(x) :- A(x,z), B(z,y).")
 	e, err := EnumerateConstantDelay(db, q, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -363,15 +364,15 @@ func TestEnumeratorsNoDuplicates(t *testing.T) {
 // enumerator must not grow with the database, while the linear-delay
 // baseline's must.
 func TestConstantDelayIsConstant(t *testing.T) {
-	q := logic.MustParseCQ("Q(x,y) :- A(x,z), B(z), C(z,y).")
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,z), B(z), C(z,y).")
 	// Free-connex? H+head {x,y}: A{x,z}, B{z}, C{z,y}, {x,y}: GYO: B ⊆ A;
 	// then A{x,z} shared {x (head), z (C)}: not ⊆ single edge... let's
 	// instead use a certainly free-connex query:
-	q = logic.MustParseCQ("Q(x,y) :- A(x,z), B(z,y).")
+	q = logictest.MustParseCQ("Q(x,y) :- A(x,z), B(z,y).")
 	if q.IsFreeConnex() {
 		t.Fatalf("Π is not free-connex; test setup wrong")
 	}
-	q = logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	q = logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
 	if !q.IsFreeConnex() {
 		t.Fatalf("expected free-connex")
 	}

@@ -7,7 +7,7 @@ import (
 
 	"repro/internal/database"
 	"repro/internal/delay"
-	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 // These tests pin down that every enumerator and evaluator in this package
@@ -28,7 +28,7 @@ func runTwice(t *testing.T, label string, mk func() delay.Enumerator) {
 
 func TestEnumeratorsDeterministicSequences(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	qFC := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	qFC := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
 	db := randomDB(rng, qFC, 25, 300)
 
 	runTwice(t, "EnumerateConstantDelay", func() delay.Enumerator {
@@ -49,7 +49,7 @@ func TestEnumeratorsDeterministicSequences(t *testing.T) {
 
 func TestEvalDeterministicSequence(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
-	q := logic.MustParseCQ("Q(x,w) :- R(x,y), S(y,z), T(z,w).")
+	q := logictest.MustParseCQ("Q(x,w) :- R(x,y), S(y,z), T(z,w).")
 	db := randomDB(rng, q, 20, 250)
 	first, err := Eval(db, q)
 	if err != nil {
@@ -67,7 +67,7 @@ func TestEvalDeterministicSequence(t *testing.T) {
 
 func TestRandomAccessDeterministicOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
 	db := randomDB(rng, q, 25, 300)
 	ra1, err := NewRandomAccess(db, q)
 	if err != nil {

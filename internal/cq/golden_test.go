@@ -1,0 +1,110 @@
+package cq
+
+import (
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/logic/logictest"
+)
+
+// figure1Query is the running example of the paper's Figure 1: the acyclic,
+// free-connex query φ(x1,x2,x3) over atoms R1(x1,x2), S1(x2,x3,y3),
+// R2(x1,y1), T(y3,y4,y5), S2(x2,y2). (Atom occurrences are disambiguated
+// with distinct predicate names so the golden node labels are stable.)
+func figure1Instance() (*logic.CQ, *database.Database) {
+	q := logictest.MustParseCQ("Q(x1,x2,x3) :- R1(x1,x2), S1(x2,x3,y3), R2(x1,y1), T(y3,y4,y5), S2(x2,y2).")
+	db := database.NewDatabase()
+	for _, a := range q.Atoms {
+		db.AddRelation(database.NewRelation(a.Pred, len(a.Args)))
+	}
+	return q, db
+}
+
+// TestGoldenFigure1JoinTree pins the exact join tree BuildTree constructs
+// for the Figure 1 query — the structure every Yannakakis pass in this
+// package walks. The outline is deterministic (GYO ear removal with sorted
+// tie-breaking), so any change to tree construction shows up as a diff
+// here, not as a silent perf or correctness drift.
+func TestGoldenFigure1JoinTree(t *testing.T) {
+	q, db := figure1Instance()
+	tr, err := BuildTree(db, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `S1#1{x2,x3,y3}
+  R1#0{x1,x2}
+    R2#2{x1,y1}
+    S2#4{x2,y2}
+  T#3{y3,y4,y5}
+`
+	if got := tr.JT.String(); got != want {
+		t.Fatalf("Figure 1 join tree drifted:\ngot:\n%swant:\n%s", got, want)
+	}
+	if err := tr.JT.Validate(); err != nil {
+		t.Fatalf("golden tree violates the running-intersection property: %v", err)
+	}
+	if tr.HeadIdx != -1 {
+		t.Fatalf("plain tree has HeadIdx %d, want -1", tr.HeadIdx)
+	}
+	// Structural spot checks independent of the rendering: S1 is the root
+	// and T hangs directly under it (they share y3).
+	root := tr.JT.Root()
+	if tr.JT.Nodes[root].Name != "S1#1" {
+		t.Fatalf("root is %s, want S1#1", tr.JT.Nodes[root].Name)
+	}
+	for i, n := range tr.JT.Nodes {
+		if n.Name == "T#3" && tr.JT.Parent[i] != root {
+			t.Fatalf("T#3 parent is node %d, want root %d", tr.JT.Parent[i], root)
+		}
+	}
+}
+
+// TestGoldenFigure1ExtendedTree pins the free-connex extended tree
+// (Definition 4.4): the synthetic head edge {x1,x2,x3} becomes the root and
+// carries no relation; the atoms of the head-connected prefix hang directly
+// below it.
+func TestGoldenFigure1ExtendedTree(t *testing.T) {
+	q, db := figure1Instance()
+	tr, err := BuildTree(db, q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `__head__{x1,x2,x3}
+  R1#0{x1,x2}
+  R2#2{x1,y1}
+  S1#1{x2,x3,y3}
+    S2#4{x2,y2}
+    T#3{y3,y4,y5}
+`
+	if got := tr.JT.String(); got != want {
+		t.Fatalf("Figure 1 extended tree drifted:\ngot:\n%swant:\n%s", got, want)
+	}
+	if err := tr.JT.Validate(); err != nil {
+		t.Fatalf("golden extended tree violates the running-intersection property: %v", err)
+	}
+	root := tr.JT.Root()
+	if tr.HeadIdx != root {
+		t.Fatalf("HeadIdx %d is not the root %d", tr.HeadIdx, root)
+	}
+	if tr.Rels[root].R != nil {
+		t.Fatalf("synthetic head node carries a relation")
+	}
+	// Every child of the head node must intersect the head variables —
+	// that is what makes the enumeration preamble constant-delay.
+	head := map[string]bool{"x1": true, "x2": true, "x3": true}
+	for i := range tr.JT.Nodes {
+		if tr.JT.Parent[i] != root {
+			continue
+		}
+		hit := false
+		for _, v := range tr.JT.Nodes[i].Vertices {
+			if head[v] {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Fatalf("node %s hangs under the head edge without sharing a head variable", tr.JT.Nodes[i].Name)
+		}
+	}
+}

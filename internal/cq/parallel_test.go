@@ -8,6 +8,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/delay"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 var parDegrees = []int{1, 2, 4, 8}
@@ -56,7 +57,7 @@ func TestParEvalMatchesEvalFixedQueries(t *testing.T) {
 		"Q(x,y,z) :- R(x,y), S(y,z).",
 	}
 	for _, qs := range queries {
-		q := logic.MustParseCQ(qs)
+		q := logictest.MustParseCQ(qs)
 		db := randomDB(rng, q, 30, 200)
 		want, err := Eval(db, q)
 		if err != nil {
@@ -118,7 +119,7 @@ func TestParDecideMatchesDecide(t *testing.T) {
 
 func TestParFullReduceMatchesFullReduce(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	q := logic.MustParseCQ("Q(x,w) :- R(x,y), S(y,z), T(z,w).")
+	q := logictest.MustParseCQ("Q(x,w) :- R(x,y), S(y,z), T(z,w).")
 	db := randomDB(rng, q, 40, 400)
 	seq, err := BuildTree(db, q, false)
 	if err != nil {
@@ -191,7 +192,7 @@ func TestParEvalDeterministic(t *testing.T) {
 }
 
 func TestParEvalEmptyJoin(t *testing.T) {
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
 	db := database.NewDatabase()
 	a := database.NewRelation("A", 2)
 	a.InsertValues(1, 2)
@@ -218,7 +219,7 @@ func TestParEvalEmptyJoin(t *testing.T) {
 }
 
 func TestParEvalErrors(t *testing.T) {
-	cyc := logic.MustParseCQ("Q(x) :- R(x,y), S(y,z), T(z,x).")
+	cyc := logictest.MustParseCQ("Q(x) :- R(x,y), S(y,z), T(z,x).")
 	db := database.NewDatabase()
 	if _, err := ParEval(db, cyc, 4, nil); err == nil {
 		t.Error("ParEval accepted a cyclic query")
@@ -226,7 +227,7 @@ func TestParEvalErrors(t *testing.T) {
 	if _, err := ParDecide(db, cyc, 4, nil); err == nil {
 		t.Error("ParDecide accepted a cyclic query")
 	}
-	q := logic.MustParseCQ("Q(x) :- Missing(x,y).")
+	q := logictest.MustParseCQ("Q(x) :- Missing(x,y).")
 	if _, err := ParEval(db, q, 4, nil); err == nil {
 		t.Error("ParEval accepted an unknown relation")
 	}

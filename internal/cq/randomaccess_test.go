@@ -8,7 +8,7 @@ import (
 
 	"repro/internal/database"
 	"repro/internal/delay"
-	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 func TestRandomAccessBasics(t *testing.T) {
@@ -21,7 +21,7 @@ func TestRandomAccessBasics(t *testing.T) {
 	}
 	db.AddRelation(a)
 	db.AddRelation(b)
-	q := logic.MustParseCQ("Q(x,y,z) :- A(x,y), B(y,z).")
+	q := logictest.MustParseCQ("Q(x,y,z) :- A(x,y), B(y,z).")
 	ra, err := NewRandomAccess(db, q)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestRandomAccessBoolean(t *testing.T) {
 	e := database.NewRelation("E", 2)
 	e.InsertValues(1, 2)
 	db.AddRelation(e)
-	ra, err := NewRandomAccess(db, logic.MustParseCQ("B() :- E(x,y)."))
+	ra, err := NewRandomAccess(db, logictest.MustParseCQ("B() :- E(x,y)."))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestRandomOrder(t *testing.T) {
 		a.InsertValues(database.Value(i), database.Value(i%4))
 	}
 	db.AddRelation(a)
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y).")
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y).")
 	ra, err := NewRandomAccess(db, q)
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestRandomAccessRejectsNonFreeConnex(t *testing.T) {
 	db := database.NewDatabase()
 	db.AddRelation(database.NewRelation("A", 2))
 	db.AddRelation(database.NewRelation("B", 2))
-	if _, err := NewRandomAccess(db, logic.MustParseCQ("Q(x,y) :- A(x,z), B(z,y).")); err == nil {
+	if _, err := NewRandomAccess(db, logictest.MustParseCQ("Q(x,y) :- A(x,z), B(z,y).")); err == nil {
 		t.Errorf("non-free-connex query must be rejected")
 	}
 }

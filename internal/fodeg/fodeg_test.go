@@ -10,6 +10,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/delay"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 // randomBoundedDegreeGraph generates a graph with max degree ≤ d.
@@ -313,7 +314,7 @@ func TestTranslateGraphFO(t *testing.T) {
 			"exists x. exists y. (E(x,y) and not x = y and P(x))",
 		}
 		for _, src := range sentences {
-			lf := logic.MustParseFormula(src)
+			lf := logictest.MustParseFormula(src)
 			ff, err := s.TranslateGraphFO(lf)
 			if err != nil {
 				t.Fatalf("translate %q: %v", src, err)
@@ -344,13 +345,13 @@ func TestTranslateGraphFO(t *testing.T) {
 
 func TestTranslateErrors(t *testing.T) {
 	s := NewStructure(3)
-	if _, err := s.TranslateGraphFO(logic.MustParseFormula("exists x. R(x,y,z)")); err == nil {
+	if _, err := s.TranslateGraphFO(logictest.MustParseFormula("exists x. R(x,y,z)")); err == nil {
 		t.Errorf("ternary atom must be rejected")
 	}
-	if _, err := s.TranslateGraphFO(logic.MustParseFormula("exists x. x < 3")); err == nil {
+	if _, err := s.TranslateGraphFO(logictest.MustParseFormula("exists x. x < 3")); err == nil {
 		t.Errorf("order comparison must be rejected")
 	}
-	if _, err := s.TranslateGraphFO(logic.MustParseFormula("exists x. x in X")); err == nil {
+	if _, err := s.TranslateGraphFO(logictest.MustParseFormula("exists x. x in X")); err == nil {
 		t.Errorf("set membership must be rejected")
 	}
 }

@@ -1,0 +1,41 @@
+package ineq
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Golden rendering of the Example 4.19 cover table: the exact minimal
+// covers, as printed, in the deterministic order MinimalCovers returns
+// them. TestExample419MinimalCovers checks the set; this pins the concrete
+// artifact — a change in Blank's sort position, in CoverString, or in the
+// recursion order is a meaningful behavior change and must show up here.
+func TestGoldenExample419MinimalCovers(t *testing.T) {
+	got := renderCovers(example419().MinimalCovers())
+	want := []string{
+		"(⊔,⊔,⊔,5)",
+		"(⊔,5,4,⊔)",
+		"(1,2,3,⊔)",
+		"(3,2,1,⊔)",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("minimal covers drifted:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// The representative set the recursion picks for Example 4.19 is likewise
+// deterministic — and coincides with the paper's own choice {a,b,c,d}
+// (rows a=(1,2,4,5), b=(1,5,1,5), c=(3,2,4,5), d=(3,5,3,5)). Its
+// cover-equivalence to the full table is verified in
+// TestExample419RepresentativeSet; this pins the concrete rows.
+func TestGoldenExample419RepresentativeSet(t *testing.T) {
+	rep := example419().RepresentativeSet()
+	got := make([]string, len(rep))
+	for i, r := range rep {
+		got[i] = CoverString(r)
+	}
+	want := []string{"(1,2,4,5)", "(1,5,1,5)", "(3,2,4,5)", "(3,5,3,5)"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("representative set drifted:\ngot  %v\nwant %v", got, want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/delay"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 // ----- covers machinery (Definitions 4.16–4.19) -----
@@ -229,13 +230,13 @@ func TestAvoidable(t *testing.T) {
 func TestBacktrackAgainstNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	queries := []*logic.CQ{
-		logic.MustParseCQ("Q(x,y) :- E(x,z), E(z,y)."),
-		logic.MustParseCQ("Q(x,y) :- E(x,z), E(z,y), x != y."),
-		logic.MustParseCQ("Q(x) :- E(x,y), E(y,x), x < y."),
-		logic.MustParseCQ("Q() :- E(x,y), E(y,z), E(z,x)."),
-		logic.MustParseCQ("Q(x) :- E(x,x)."),
-		logic.MustParseCQ("Q(x) :- E(x,y), y <= x."),
-		logic.MustParseCQ("Q(x) :- E(x,y), E(y,z), x = z."),
+		logictest.MustParseCQ("Q(x,y) :- E(x,z), E(z,y)."),
+		logictest.MustParseCQ("Q(x,y) :- E(x,z), E(z,y), x != y."),
+		logictest.MustParseCQ("Q(x) :- E(x,y), E(y,x), x < y."),
+		logictest.MustParseCQ("Q() :- E(x,y), E(y,z), E(z,x)."),
+		logictest.MustParseCQ("Q(x) :- E(x,x)."),
+		logictest.MustParseCQ("Q(x) :- E(x,y), y <= x."),
+		logictest.MustParseCQ("Q(x) :- E(x,y), E(y,z), x = z."),
 	}
 	for trial := 0; trial < 50; trial++ {
 		db := database.NewDatabase()
@@ -363,7 +364,7 @@ func TestEnumerateNeqBasic(t *testing.T) {
 		"Q(x,y) :- E(x,z), E(z,y), x != y.", // hmm: not free-connex (Π-shaped)
 	}
 	for _, src := range cases[:4] {
-		q := logic.MustParseCQ(src)
+		q := logictest.MustParseCQ(src)
 		en, err := EnumerateNeq(db, q, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", src, err)
@@ -371,11 +372,11 @@ func TestEnumerateNeqBasic(t *testing.T) {
 		checkSame(t, src, delay.Collect(en), q.EvalNaive(db))
 	}
 	// The Π-shaped query must be rejected (not free-connex).
-	if _, err := EnumerateNeq(db, logic.MustParseCQ(cases[4]), nil); err == nil {
+	if _, err := EnumerateNeq(db, logictest.MustParseCQ(cases[4]), nil); err == nil {
 		t.Errorf("non-free-connex ACQ≠ must be rejected")
 	}
 	// Order comparisons must be rejected.
-	if _, err := EnumerateNeq(db, logic.MustParseCQ("Q(x) :- E(x,y), x < y."), nil); err == nil {
+	if _, err := EnumerateNeq(db, logictest.MustParseCQ("Q(x) :- E(x,y), x < y."), nil); err == nil {
 		t.Errorf("ACQ< must be rejected by the disequality enumerator")
 	}
 }
@@ -386,7 +387,7 @@ func TestEnumerateNeqTrivialConstraints(t *testing.T) {
 	e.InsertValues(1, 2)
 	db.AddRelation(e)
 	// x != x is unsatisfiable.
-	en, err := EnumerateNeq(db, logic.MustParseCQ("Q(x) :- E(x,y), x != x."), nil)
+	en, err := EnumerateNeq(db, logictest.MustParseCQ("Q(x) :- E(x,y), x != x."), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func TestEnumerateNeqTrivialConstraints(t *testing.T) {
 		t.Errorf("x != x must yield nothing, got %v", got)
 	}
 	// A constant-constant disequality that holds is dropped.
-	en, err = EnumerateNeq(db, logic.MustParseCQ("Q(x) :- E(x,y), 1 != 2."), nil)
+	en, err = EnumerateNeq(db, logictest.MustParseCQ("Q(x) :- E(x,y), 1 != 2."), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,7 +493,7 @@ func TestEnumerateNeqDifferential(t *testing.T) {
 
 // Measured delay of the ACQ≠ enumerator stays flat on a scaling workload.
 func TestNeqDelayConstantish(t *testing.T) {
-	q := logic.MustParseCQ("Q(x,y) :- A(x,y), B(y,z), x != z.")
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z), x != z.")
 	if !(&logic.CQ{Name: "p", Head: q.Head, Atoms: q.Atoms}).IsFreeConnex() {
 		t.Fatalf("setup: expected free-connex")
 	}

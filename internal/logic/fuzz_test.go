@@ -1,0 +1,115 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCQ drives the query parser with arbitrary input. The corpus is
+// seeded with the query strings appearing across the examples directory and
+// the test suites, plus malformed prefixes of them. Properties: the parser
+// never panics (the process would crash the fuzzer), and accepted queries
+// round-trip — rendering and re-parsing is the identity on the rendering.
+func FuzzParseCQ(f *testing.F) {
+	seeds := []string{
+		// examples/quickstart and examples/socialnetwork.
+		"Q(who, kind) :- bought(who, p), category(p, kind).",
+		"Q(a,b) :- follows(a,b), verified(b), follows(b,c).",
+		// Paper artifacts used throughout the repo.
+		"Pi(x,y) :- A(x,z), B(z,y).",
+		"Phi(x1,x2,x4) :- E(x1,x4), S(x1,x1,x3), T(x3,x2,x4).",
+		"Q(x1,x2,x3) :- R(x1,x2), S(x2,x3,y3), R(x1,y1), T(y3,y4,y5), S(x2,y2).",
+		// Extended-CQ syntax: negation, comparisons, constants.
+		"Q(x) :- E(x,y), !B(y), x != y, y <= 4.",
+		"Q(x) :- R(x, 7), !S(x).",
+		"Q() :- E(x,y), E(y,z), E(z,x).",
+		// Malformed shapes.
+		"Q(x) :- R(x",
+		"Q(x,) :- R(x).",
+		"Q(x) :- R(x). extra",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseCQ(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := ParseCQ(rendered)
+		if err != nil {
+			t.Fatalf("round-trip reject: %q -> %q: %v", src, rendered, err)
+		}
+		if got := q2.String(); got != rendered {
+			t.Fatalf("round-trip drift: %q -> %q -> %q", src, rendered, got)
+		}
+	})
+}
+
+// FuzzParseUCQ is FuzzParseCQ for unions.
+func FuzzParseUCQ(f *testing.F) {
+	seeds := []string{
+		"Q(x,y,w) :- R1(x,z), R2(z,y), R3(x,w); Q(x,y,w) :- R1(x,y), R2(y,w).",
+		"Q(x) :- B(x); Q(x) :- E(x,y), E(y,x).",
+		"Q(x) :- R(x);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// UCQ.String renders with the display glyph "∨", which is not input
+	// syntax, so the round-trip goes through ";"-joined rule syntax.
+	asInput := func(u *UCQ) string {
+		parts := make([]string, len(u.Disjuncts))
+		for i, d := range u.Disjuncts {
+			parts[i] = strings.TrimSuffix(d.String(), ".")
+		}
+		return strings.Join(parts, "; ") + "."
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := ParseUCQ(src)
+		if err != nil {
+			return
+		}
+		rendered := asInput(u)
+		u2, err := ParseUCQ(rendered)
+		if err != nil {
+			t.Fatalf("round-trip reject: %q -> %q: %v", src, rendered, err)
+		}
+		if got := asInput(u2); got != rendered {
+			t.Fatalf("round-trip drift: %q -> %q -> %q", src, rendered, got)
+		}
+	})
+}
+
+// FuzzParseFormula covers the FO/MSO formula grammar, which has the deepest
+// recursion and the most lookahead in the parser.
+func FuzzParseFormula(f *testing.F) {
+	seeds := []string{
+		"forall x. (Leaf(x) -> exists y. Child(y,x))",
+		"(exists z. z in X) and forall y. (y in X -> a(y))",
+		"E(x,y) and x in X and not y in X",
+		"exists set X. x in X",
+		"exists x, y, z. (D0(x,y,z) and x in T)",
+		"x < 3 or x = y",
+		"exists x. (",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseFormula(src)
+		if err != nil {
+			return
+		}
+		rendered := g.String()
+		g2, err := ParseFormula(rendered)
+		if err != nil {
+			t.Fatalf("round-trip reject: %q -> %q: %v", src, rendered, err)
+		}
+		if got := g2.String(); got != rendered {
+			t.Fatalf("round-trip drift: %q -> %q -> %q", src, rendered, got)
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package logic
+
+// In-package test shims for the panicking parse helpers. The exported
+// library surface is error-returning only (user input from cmd/qeval must
+// not be able to crash the process); external tests use
+// internal/logic/logictest, which this package cannot import without a
+// cycle, so the same wrappers are restated here for _test files.
+
+func MustParseCQ(src string) *CQ {
+	q, err := ParseCQ(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func MustParseUCQ(src string) *UCQ {
+	u, err := ParseUCQ(src)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func MustParseFormula(src string) Formula {
+	f, err := ParseFormula(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

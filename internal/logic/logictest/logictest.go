@@ -1,0 +1,43 @@
+// Package logictest provides panicking parse helpers for tests and
+// benchmarks working with compile-time-constant query strings.
+//
+// The library itself exposes only the error-returning logic.ParseCQ /
+// ParseUCQ / ParseFormula: user-supplied input (cmd/qeval) must never be
+// able to crash the process, so the panicking convenience wrappers live
+// here, out of every production import path. Production code embedding a
+// fixed query should construct it structurally (see boolmat.PiQuery) or
+// propagate the parse error.
+package logictest
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// MustParseCQ parses a constant conjunctive-query rule, panicking on error.
+func MustParseCQ(src string) *logic.CQ {
+	q, err := logic.ParseCQ(src)
+	if err != nil {
+		panic(fmt.Sprintf("logictest: MustParseCQ(%q): %v", src, err))
+	}
+	return q
+}
+
+// MustParseUCQ parses a constant union of rules, panicking on error.
+func MustParseUCQ(src string) *logic.UCQ {
+	u, err := logic.ParseUCQ(src)
+	if err != nil {
+		panic(fmt.Sprintf("logictest: MustParseUCQ(%q): %v", src, err))
+	}
+	return u
+}
+
+// MustParseFormula parses a constant FO/MSO formula, panicking on error.
+func MustParseFormula(src string) logic.Formula {
+	f, err := logic.ParseFormula(src)
+	if err != nil {
+		panic(fmt.Sprintf("logictest: MustParseFormula(%q): %v", src, err))
+	}
+	return f
+}

@@ -103,8 +103,27 @@ type parser struct {
 	i    int
 }
 
-func (p *parser) peek() token { return p.toks[p.i] }
-func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+// peekAt returns the token k positions ahead, saturating at the trailing
+// EOF token so that no input — however malformed — can drive the parser
+// out of bounds. Parser input reaches this code straight from cmd/qeval
+// users; every error path must return an error, never panic.
+func (p *parser) peekAt(k int) token {
+	if p.i+k >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i+k]
+}
+
+func (p *parser) peek() token { return p.peekAt(0) }
+
+func (p *parser) next() token {
+	t := p.peek()
+	if p.i < len(p.toks) {
+		p.i++
+	}
+	return t
+}
+
 func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
 func (p *parser) accept(text string) bool {
 	if p.peek().kind != tokEOF && p.peek().text == text {
@@ -159,7 +178,7 @@ func ParseUCQ(src string) (*UCQ, error) {
 			break
 		}
 		if p.atEOF() {
-			break
+			return nil, fmt.Errorf("logic: dangling %q at end of union", ";")
 		}
 	}
 	if !p.atEOF() {
@@ -220,7 +239,7 @@ func (p *parser) parseBodyItem(q *CQ) error {
 		return nil
 	}
 	// Either an atom Pred(...) or a comparison term op term.
-	if p.peek().kind == tokIdent && p.toks[p.i+1].text == "(" {
+	if p.peek().kind == tokIdent && p.peekAt(1).text == "(" {
 		a, err := p.parseAtom()
 		if err != nil {
 			return err
@@ -440,7 +459,7 @@ func (p *parser) parseUnary() (Formula, error) {
 		return f, nil
 	}
 	// Atom, membership, or comparison.
-	if p.peek().kind == tokIdent && p.toks[p.i+1].text == "(" {
+	if p.peek().kind == tokIdent && p.peekAt(1).text == "(" {
 		a, err := p.parseAtom()
 		if err != nil {
 			return nil, err
@@ -468,34 +487,6 @@ func (p *parser) parseUnary() (Formula, error) {
 		return nil, err
 	}
 	return FComp{Op: op, L: l, R: r}, nil
-}
-
-// MustParseCQ is ParseCQ panicking on error; for tests and examples.
-func MustParseCQ(src string) *CQ {
-	q, err := ParseCQ(src)
-	if err != nil {
-		panic(err)
-	}
-	return q
-}
-
-// MustParseUCQ is ParseUCQ panicking on error; for tests and examples.
-func MustParseUCQ(src string) *UCQ {
-	u, err := ParseUCQ(src)
-	if err != nil {
-		panic(err)
-	}
-	return u
-}
-
-// MustParseFormula is ParseFormula panicking on error; for tests and
-// examples.
-func MustParseFormula(src string) Formula {
-	f, err := ParseFormula(src)
-	if err != nil {
-		panic(err)
-	}
-	return f
 }
 
 // normalizeSpaces is used by tests comparing printed forms.

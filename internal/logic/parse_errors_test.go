@@ -1,0 +1,105 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parser fields input typed by cmd/qeval users, so every malformed
+// query must come back as an error — never a panic or an out-of-bounds
+// read. These inputs all previously reached panicking code paths or
+// exercise truncation at each parser state.
+func TestParseCQMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"Q",
+		"Q(",
+		"Q(x",
+		"Q(x,",
+		"Q(x,) :- R(x).",
+		"Q(x)",
+		"Q(x) :-",
+		"Q(x) :- ",
+		"Q(x) :- .",
+		"Q(x) :- R",
+		"Q(x) :- R(",
+		"Q(x) :- R(x",
+		"Q(x) :- R(x,",
+		"Q(x) :- R(x,y",
+		"Q(x) :- R(x))",
+		"Q(x) :- R(x), ",
+		"Q(x) :- R(x), S",
+		"Q(x) :- !",
+		"Q(x) :- !R",
+		"Q(x) :- x !",
+		"Q(x) :- x != ",
+		"Q(x) :- x <",
+		"Q(x) :- x = = y",
+		"Q(x) :- R(x) S(x).",
+		"Q(x) :- R(x). extra",
+		"(x) :- R(x).",
+		":- R(x).",
+		"Q(x) R(x).",
+		"Q(1x) :- R(x).",
+		"Q(x) :- R(x), !",
+		"Q(x) :- ,",
+	}
+	for _, src := range cases {
+		if _, err := ParseCQ(src); err == nil {
+			t.Errorf("ParseCQ(%q): expected error, got none", src)
+		}
+	}
+}
+
+func TestParseUCQMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		";",
+		"Q(x) :- R(x);",
+		"Q(x) :- R(x); Q(y)",
+		"Q(x) :- R(x); P(",
+	}
+	for _, src := range cases {
+		if _, err := ParseUCQ(src); err == nil {
+			t.Errorf("ParseUCQ(%q): expected error, got none", src)
+		}
+	}
+}
+
+func TestParseFormulaMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"(",
+		")",
+		"exists",
+		"exists .",
+		"exists x",
+		"exists x.",
+		"forall x. (",
+		"E(x,y) and",
+		"E(x,y) or or E(y,x)",
+		"not",
+		"x in",
+		"in X",
+		"exists set",
+		"exists set X",
+		"E(x,",
+		"E(x,y))",
+		"x <",
+		"-> E(x,y)",
+	}
+	for _, src := range cases {
+		if _, err := ParseFormula(src); err == nil {
+			t.Errorf("ParseFormula(%q): expected error, got none", src)
+		}
+	}
+}
+
+// TestParseErrorsMentionInput: parse errors should be actionable — at
+// minimum they must not be empty.
+func TestParseErrorsMentionInput(t *testing.T) {
+	_, err := ParseCQ("Q(x) :- R(x")
+	if err == nil || strings.TrimSpace(err.Error()) == "" {
+		t.Fatalf("uninformative error: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 // Structural atoms in both directions, against the naive evaluator, on
@@ -24,7 +25,7 @@ func TestStructuralAtomsExtra(t *testing.T) {
 		tr := RandomTree(rng, n, alphabet)
 		db := relationalView(tr)
 		for _, src := range formulas {
-			f := logic.MustParseFormula(src)
+			f := logictest.MustParseFormula(src)
 			want := logic.Eval(db, f, logic.Interpretation{})
 			got, err := ModelCheck(tr, f)
 			if err != nil {
@@ -44,7 +45,7 @@ func TestCountClosedForm(t *testing.T) {
 	for _, n := range []int{4, 9, 15} {
 		labels := make([]int, n) // all label "a"
 		tr := Path(n, labels, alphabet)
-		f := logic.MustParseFormula("forall y. (y in X -> a(y))")
+		f := logictest.MustParseFormula("forall y. (y in X -> a(y))")
 		got, err := Count(tr, f)
 		if err != nil {
 			t.Fatal(err)
@@ -61,7 +62,7 @@ func TestCountClosedForm(t *testing.T) {
 func TestEnumerateFOAnswers(t *testing.T) {
 	rng := rand.New(rand.NewSource(103))
 	tr := RandomTree(rng, 9, alphabet)
-	f := logic.MustParseFormula("a(x) and Leaf(x)")
+	f := logictest.MustParseFormula("a(x) and Leaf(x)")
 	e, err := Enumerate(tr, f, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,7 @@ func TestEnumerateFOAnswers(t *testing.T) {
 func TestDeterminizePreservesLanguage(t *testing.T) {
 	rng := rand.New(rand.NewSource(107))
 	tr := RandomTree(rng, 7, alphabet)
-	f := logic.MustParseFormula("exists y. (Child(x,y) and b(y))")
+	f := logictest.MustParseFormula("exists y. (Child(x,y) and b(y))")
 	c, err := Compile(tr, f)
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/database"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 // relationalView encodes the tree as a relational database for the naive
@@ -101,7 +102,7 @@ func TestModelCheckAgainstNaive(t *testing.T) {
 		tr := RandomTree(rng, n, alphabet)
 		db := relationalView(tr)
 		for _, src := range sentences {
-			f := logic.MustParseFormula(src)
+			f := logictest.MustParseFormula(src)
 			want := logic.Eval(db, f, logic.Interpretation{})
 			got, err := ModelCheck(tr, f)
 			if err != nil {
@@ -132,7 +133,7 @@ func TestCountAgainstNaive(t *testing.T) {
 		tr := RandomTree(rng, n, alphabet)
 		db := relationalView(tr)
 		for _, src := range openFormulas {
-			f := logic.MustParseFormula(src)
+			f := logictest.MustParseFormula(src)
 			want := logic.CountMixed(db, f)
 			got, err := Count(tr, f)
 			if err != nil {
@@ -152,7 +153,7 @@ func TestEnumerateAgainstCount(t *testing.T) {
 		tr := RandomTree(rng, n, alphabet)
 		db := relationalView(tr)
 		for _, src := range openFormulas {
-			f := logic.MustParseFormula(src)
+			f := logictest.MustParseFormula(src)
 			e, err := Enumerate(tr, f, nil)
 			if err != nil {
 				t.Fatalf("%q: %v", src, err)
@@ -208,7 +209,7 @@ func TestTwoDisjointSolutions(t *testing.T) {
 	tr := Path(n, labels, alphabet)
 	// X is nonempty, label-homogeneous, and maximal: exactly the two label
 	// classes (each of size n/2) when both labels occur.
-	f := logic.MustParseFormula(
+	f := logictest.MustParseFormula(
 		"(forall x. (x in X -> a(x)) and forall y. (a(y) -> y in X) and exists z. z in X) or " +
 			"(forall x. (x in X -> b(x)) and forall y. (b(y) -> y in X) and exists z. z in X)")
 	e, err := Enumerate(tr, f, nil)
@@ -238,7 +239,7 @@ func TestTwoDisjointSolutions(t *testing.T) {
 
 // Linear scaling sanity: model checking time per node is flat (Courcelle).
 func TestModelCheckScalesLinearly(t *testing.T) {
-	f := logic.MustParseFormula("forall x. (Leaf(x) -> exists y. Child(y,x))")
+	f := logictest.MustParseFormula("forall x. (Leaf(x) -> exists y. Child(y,x))")
 	for _, n := range []int{100, 1000} {
 		labels := make([]int, n)
 		tr := Path(n, labels, alphabet)

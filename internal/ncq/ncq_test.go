@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/database"
-	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 func TestCNFToCSPClauseEncoding(t *testing.T) {
@@ -157,7 +157,7 @@ func TestNCQDecide(t *testing.T) {
 		db.AddRelation(s)
 
 		// β-acyclic NCQ: chain scopes.
-		q := logic.MustParseCQ("Q() :- !R(x,y), !S(y,z).")
+		q := logictest.MustParseCQ("Q() :- !R(x,y), !S(y,z).")
 		got, err := Decide(db, q)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
@@ -182,7 +182,7 @@ func TestNCQWithConstantsAndRepeats(t *testing.T) {
 	db.AddRelation(r)
 	// ¬R(x,x): forbids x ∈ {1,2}; domain = {1,2}: unsat only if the domain
 	// has no other value — add value 3 via a unary relation.
-	q := logic.MustParseCQ("Q() :- !R(x,x).")
+	q := logictest.MustParseCQ("Q() :- !R(x,x).")
 	got, err := Decide(db, q)
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +201,7 @@ func TestNCQWithConstantsAndRepeats(t *testing.T) {
 		t.Errorf("with domain element 3, ¬R(x,x) must be satisfiable")
 	}
 	// Fully-constant negated atom.
-	qc := logic.MustParseCQ("Q() :- !R(1,1).")
+	qc := logictest.MustParseCQ("Q() :- !R(1,1).")
 	got, err = Decide(db, qc)
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +209,7 @@ func TestNCQWithConstantsAndRepeats(t *testing.T) {
 	if got {
 		t.Errorf("¬R(1,1) with (1,1) ∈ R must be false")
 	}
-	qc2 := logic.MustParseCQ("Q() :- !R(2,1).")
+	qc2 := logictest.MustParseCQ("Q() :- !R(2,1).")
 	got, err = Decide(db, qc2)
 	if err != nil {
 		t.Fatal(err)
@@ -224,10 +224,10 @@ func TestNCQRejectsPositiveAtoms(t *testing.T) {
 	r := database.NewRelation("R", 1)
 	r.InsertValues(1)
 	db.AddRelation(r)
-	if _, err := Decide(db, logic.MustParseCQ("Q() :- R(x), !R(x).")); err == nil {
+	if _, err := Decide(db, logictest.MustParseCQ("Q() :- R(x), !R(x).")); err == nil {
 		t.Errorf("positive atoms must be rejected")
 	}
-	if _, err := Decide(db, logic.MustParseCQ("Q() :- !R(x), x != 1.")); err == nil {
+	if _, err := Decide(db, logictest.MustParseCQ("Q() :- !R(x), x != 1.")); err == nil {
 		t.Errorf("comparisons must be rejected")
 	}
 }

@@ -1,0 +1,172 @@
+package oracle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/logic/logictest"
+	"repro/internal/qgen"
+)
+
+func pathGraph() *database.Database {
+	db := database.NewDatabase()
+	e := database.NewRelation("E", 2)
+	for _, p := range [][2]database.Value{{1, 2}, {2, 3}, {3, 4}, {1, 3}} {
+		e.InsertValues(p[0], p[1])
+	}
+	db.AddRelation(e)
+	b := database.NewRelation("B", 1)
+	b.InsertValues(2)
+	db.AddRelation(b)
+	return db
+}
+
+func tuples(rows ...[]database.Value) []database.Tuple {
+	out := make([]database.Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = database.Tuple(r)
+	}
+	return out
+}
+
+func TestEvalHandComputed(t *testing.T) {
+	db := pathGraph()
+	cases := []struct {
+		src  string
+		want []database.Tuple
+	}{
+		// Two-step paths: 1→2→3, 2→3→4, 1→3→4.
+		{"Q(x,y) :- E(x,z), E(z,y).", tuples(
+			[]database.Value{1, 3}, []database.Value{1, 4}, []database.Value{2, 4})},
+		// Projection collapses duplicates: sources of 2-paths.
+		{"Q(x) :- E(x,z), E(z,y).", tuples(
+			[]database.Value{1}, []database.Value{2})},
+		// Constant in an atom.
+		{"Q(x) :- E(x, 3).", tuples(
+			[]database.Value{1}, []database.Value{2})},
+		// Repeated variable: no self-loops.
+		{"Q(x) :- E(x,x).", nil},
+		// Negation: edges whose source is not in B.
+		{"Q(x,y) :- E(x,y), !B(x).", tuples(
+			[]database.Value{1, 2}, []database.Value{1, 3}, []database.Value{3, 4})},
+		// Comparison.
+		{"Q(x,y) :- E(x,y), y <= 3.", tuples(
+			[]database.Value{1, 2}, []database.Value{1, 3}, []database.Value{2, 3})},
+		// Boolean true and false.
+		{"Q() :- E(x,y), B(x).", tuples([]database.Value{})},
+		{"Q() :- E(x,x).", nil},
+		// Unknown predicate means an empty relation.
+		{"Q(x) :- Nope(x).", nil},
+	}
+	for _, c := range cases {
+		q := logictest.MustParseCQ(c.src)
+		got, err := Eval(db, q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %v, want %v", c.src, got, c.want)
+		}
+		n, err := Count(db, q)
+		if err != nil || n != len(c.want) {
+			t.Errorf("%s: count %d (err %v), want %d", c.src, n, err, len(c.want))
+		}
+		ok, err := Decide(db, q)
+		if err != nil || ok != (len(c.want) > 0) {
+			t.Errorf("%s: decide %v (err %v), want %v", c.src, ok, err, len(c.want) > 0)
+		}
+	}
+}
+
+func TestArityMismatchIsEmpty(t *testing.T) {
+	db := pathGraph()
+	// E has arity 2; an arity-1 atom over it can never hold.
+	got, err := Eval(db, logictest.MustParseCQ("Q(x) :- E(x)."))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("arity mismatch: got %v, err %v", got, err)
+	}
+}
+
+func TestEvalUCQ(t *testing.T) {
+	db := pathGraph()
+	u := logictest.MustParseUCQ("Q(x) :- B(x); Q(x) :- E(x, 3).")
+	got, err := EvalUCQ(db, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tuples([]database.Value{1}, []database.Value{2})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("union: got %v, want %v", got, want)
+	}
+	n, err := CountUCQ(db, u)
+	if err != nil || n != 2 {
+		t.Fatalf("union count: %d (err %v)", n, err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	db := pathGraph()
+	q := logictest.MustParseCQ("Q(a,b,c,d) :- E(a,b), E(c,d).")
+	if _, err := EvalBudget(db, q, 3); err == nil {
+		t.Fatal("expected budget-exhausted error")
+	}
+	if got, err := EvalBudget(db, q, DefaultBudget); err != nil || len(got) == 0 {
+		t.Fatalf("full budget: %v, err %v", got, err)
+	}
+}
+
+// TestAgainstEvalNaive cross-checks the oracle against internal/logic's own
+// independent brute-force evaluator on random instances, including queries
+// with negated atoms and comparisons the optimized engines reject.
+func TestAgainstEvalNaive(t *testing.T) {
+	cfg := qgen.Default()
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := qgen.AcyclicCQ(rng, cfg)
+		// Bolt on a comparison and a negated atom on some seeds to cover
+		// the extended-CQ paths.
+		vs := q.Vars()
+		if seed%3 == 0 && len(vs) >= 2 {
+			q.Comparisons = append(q.Comparisons, logic.Comparison{
+				Op: logic.NEQ, L: logic.V(vs[0]), R: logic.V(vs[1]),
+			})
+		}
+		if seed%5 == 0 {
+			q.NegAtoms = append(q.NegAtoms, logic.NewAtom("N", vs[0]))
+		}
+		db := qgen.DatabaseFor(rng, cfg, q)
+		got, err := Eval(db, q)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, qgen.FormatInstance(q, db))
+		}
+		want := q.EvalNaive(db)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: oracle %v, EvalNaive %v\n%s",
+				seed, got, want, qgen.FormatInstance(q, db))
+		}
+	}
+}
+
+func TestUCQAgainstEvalNaive(t *testing.T) {
+	cfg := qgen.Default()
+	// EvalNaive has no pruning, so keep the unprojected variable count low.
+	cfg.MaxAtoms = 3
+	cfg.MaxFresh = 1
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		u := qgen.UCQ(rng, cfg)
+		db := qgen.DatabaseForUCQ(rng, cfg, u)
+		got, err := EvalUCQ(db, u)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, qgen.FormatInstance(u, db))
+		}
+		want := u.EvalNaive(db)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: oracle %v, EvalNaive %v\n%s",
+				seed, got, want, qgen.FormatInstance(u, db))
+		}
+	}
+}

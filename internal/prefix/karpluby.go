@@ -251,12 +251,15 @@ func Example51(f *DNF3) (*database.Database, logic.Formula, error) {
 		r.Dedup()
 		db.AddRelation(r)
 	}
-	phi := logic.MustParseFormula(
+	phi, err := logic.ParseFormula(
 		"exists x, y, z. (" +
 			"(D0(x,y,z) and x in T and y in T and z in T) or " +
 			"(D1(x,y,z) and not x in T and y in T and z in T) or " +
 			"(D2(x,y,z) and not x in T and not y in T and z in T) or " +
 			"(D3(x,y,z) and not x in T and not y in T and not z in T))")
+	if err != nil {
+		return nil, nil, fmt.Errorf("prefix: Example 5.1 formula: %w", err)
+	}
 	return db, phi, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/database"
 	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 func graphDB(rng *rand.Rand, n, edges int) *database.Database {
@@ -39,7 +40,7 @@ func TestClassify(t *testing.T) {
 		{"exists x. exists y. E(x,y)", "Σ1"},
 	}
 	for _, c := range cases {
-		cls, _, _, err := Classify(logic.MustParseFormula(c.src))
+		cls, _, _, err := Classify(logictest.MustParseFormula(c.src))
 		if err != nil {
 			t.Fatalf("%q: %v", c.src, err)
 		}
@@ -48,10 +49,10 @@ func TestClassify(t *testing.T) {
 		}
 	}
 	// Non-prenex and set-quantified formulas are rejected.
-	if _, _, _, err := Classify(logic.MustParseFormula("E(x,y) and exists z. E(y,z)")); err == nil {
+	if _, _, _, err := Classify(logictest.MustParseFormula("E(x,y) and exists z. E(y,z)")); err == nil {
 		t.Errorf("non-prenex must be rejected")
 	}
-	if _, _, _, err := Classify(logic.MustParseFormula("exists set X. x in X")); err == nil {
+	if _, _, _, err := Classify(logictest.MustParseFormula("exists set X. x in X")); err == nil {
 		t.Errorf("set quantifier must be rejected")
 	}
 }
@@ -68,7 +69,7 @@ func TestCountSigma0AgainstNaive(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		db := graphDB(rng, 3+rng.Intn(2), 4)
 		for _, src := range formulas {
-			f := logic.MustParseFormula(src)
+			f := logictest.MustParseFormula(src)
 			got, err := CountSigma0(db, f)
 			if err != nil {
 				t.Fatalf("%q: %v", src, err)
@@ -91,7 +92,7 @@ func TestExample52OrderedTriangles(t *testing.T) {
 		e.InsertValues(p[0], p[1])
 	}
 	db.AddRelation(e)
-	psi0 := logic.MustParseFormula("v1 < v2 and v2 < v3 and E(v1,v2) and E(v2,v3) and E(v3,v1)")
+	psi0 := logictest.MustParseFormula("v1 < v2 and v2 < v3 and E(v1,v2) and E(v2,v3) and E(v3,v1)")
 	got, err := CountSigma0(db, psi0)
 	if err != nil {
 		t.Fatal(err)
@@ -214,7 +215,7 @@ func TestEnumerateSigma0(t *testing.T) {
 			"E(x,y) and x in X and not y in X",
 			"V(x) and not x in X",
 		} {
-			f := logic.MustParseFormula(src)
+			f := logictest.MustParseFormula(src)
 			e, err := EnumerateSigma0(db, f, nil)
 			if err != nil {
 				t.Fatalf("%q: %v", src, err)
@@ -269,7 +270,7 @@ func TestEnumerateSigma1(t *testing.T) {
 			"exists x, y. (E(x,y) and x in X and y in Y)",
 			"exists x. (V(x) and not x in X)",
 		} {
-			f := logic.MustParseFormula(src)
+			f := logictest.MustParseFormula(src)
 			e, err := EnumerateSigma1(db, f, nil)
 			if err != nil {
 				t.Fatalf("%q: %v", src, err)
@@ -296,13 +297,13 @@ func TestEnumerateSigma1(t *testing.T) {
 
 func TestSigma1Rejections(t *testing.T) {
 	db := graphDB(rand.New(rand.NewSource(1)), 3, 3)
-	if _, _, err := Sigma1Cubes(db, logic.MustParseFormula("forall x. x in X")); err == nil {
+	if _, _, err := Sigma1Cubes(db, logictest.MustParseFormula("forall x. x in X")); err == nil {
 		t.Errorf("Π1 must be rejected by the Σ1 counter")
 	}
-	if _, _, err := Sigma1Cubes(db, logic.MustParseFormula("E(x,y) and x in X")); err == nil {
+	if _, _, err := Sigma1Cubes(db, logictest.MustParseFormula("E(x,y) and x in X")); err == nil {
 		t.Errorf("free FO variables must be rejected by the Σ1 counter")
 	}
-	if _, err := CountSigma0(db, logic.MustParseFormula("exists x. x in X")); err == nil {
+	if _, err := CountSigma0(db, logictest.MustParseFormula("exists x. x in X")); err == nil {
 		t.Errorf("Σ1 must be rejected by the Σ0 counter")
 	}
 }

@@ -17,9 +17,28 @@ import (
 // φ2 provides {x,z,y} to φ1, so the union is free-connex although φ1 alone
 // is not (Definition 4.12, Theorem 4.13).
 func Eq1Queries() *logic.UCQ {
-	return logic.MustParseUCQ(
-		"Q(x,y,w) :- R1(x,z), R2(z,y), R3(x,w); " +
-			"Q(x,y,w) :- R1(x,y), R2(y,w).")
+	return &logic.UCQ{
+		Name: "Q",
+		Disjuncts: []*logic.CQ{
+			{
+				Name: "Q",
+				Head: []string{"x", "y", "w"},
+				Atoms: []logic.Atom{
+					logic.NewAtom("R1", "x", "z"),
+					logic.NewAtom("R2", "z", "y"),
+					logic.NewAtom("R3", "x", "w"),
+				},
+			},
+			{
+				Name: "Q",
+				Head: []string{"x", "y", "w"},
+				Atoms: []logic.Atom{
+					logic.NewAtom("R1", "x", "y"),
+					logic.NewAtom("R2", "y", "w"),
+				},
+			},
+		},
+	}
 }
 
 // EnumerateEq1 is the paper's interleaved constant-delay enumerator for the

@@ -7,7 +7,7 @@ import (
 
 	"repro/internal/database"
 	"repro/internal/delay"
-	"repro/internal/logic"
+	"repro/internal/logic/logictest"
 )
 
 func sortTuples(ts []database.Tuple) {
@@ -68,9 +68,9 @@ func TestBodyHomomorphismsEq1(t *testing.T) {
 }
 
 func TestBodyHomomorphismConstants(t *testing.T) {
-	from := logic.MustParseCQ("A(x) :- R(x, 3).")
-	to1 := logic.MustParseCQ("B(y) :- R(y, 3).")
-	to2 := logic.MustParseCQ("B(y) :- R(y, 4).")
+	from := logictest.MustParseCQ("A(x) :- R(x, 3).")
+	to1 := logictest.MustParseCQ("B(y) :- R(y, 3).")
+	to2 := logictest.MustParseCQ("B(y) :- R(y, 4).")
 	if len(BodyHomomorphisms(from, to1)) != 1 {
 		t.Errorf("constant-preserving homomorphism missing")
 	}
@@ -95,11 +95,11 @@ func TestProvidedSetsEq1(t *testing.T) {
 }
 
 func TestSConnex(t *testing.T) {
-	q := logic.MustParseCQ("Q(x,y,w) :- R1(x,y), R2(y,w).")
+	q := logictest.MustParseCQ("Q(x,y,w) :- R1(x,y), R2(y,w).")
 	if !SConnex(q, []string{"x", "y", "w"}) {
 		t.Errorf("free-connex query must be free-set-connex")
 	}
-	pi := logic.MustParseCQ("P(x,y) :- A(x,z), B(z,y).")
+	pi := logictest.MustParseCQ("P(x,y) :- A(x,z), B(z,y).")
 	if SConnex(pi, []string{"x", "y"}) {
 		t.Errorf("Π must not be {x,y}-connex")
 	}
@@ -134,7 +134,7 @@ func TestAnalyzeEq1(t *testing.T) {
 
 func TestAnalyzeRejectsHopeless(t *testing.T) {
 	// Two copies of the matrix query: nothing provides anything useful.
-	u := logic.MustParseUCQ("Q(x,y) :- A(x,z), B(z,y); Q(x,y) :- C(x,z), D(z,y).")
+	u := logictest.MustParseUCQ("Q(x,y) :- A(x,z), B(z,y); Q(x,y) :- C(x,z), D(z,y).")
 	if _, err := Analyze(u, 2); err == nil {
 		t.Errorf("union of two matrix queries must not be (detected) free-connex")
 	}
@@ -163,11 +163,11 @@ func TestEnumerateEq1Differential(t *testing.T) {
 
 func TestEnumerateAllFreeConnexUnion(t *testing.T) {
 	// Both disjuncts free-connex: the easy case of Section 4.2.
-	u := logic.MustParseUCQ("Q(x,y) :- A(x,y); Q(x,y) :- B(x,z), C(z), A(z,y).")
+	u := logictest.MustParseUCQ("Q(x,y) :- A(x,y); Q(x,y) :- B(x,z), C(z), A(z,y).")
 	// second: free-connex? H: A? names... B{x,z}, C{z}, A2{z,y}, head {x,y}:
 	// GYO with head: C ⊆ B; B{x,z} shared {x(head), z(A2)}: not ⊆ one edge...
 	// make it simpler:
-	u = logic.MustParseUCQ("Q(x,y) :- A(x,y); Q(x,y) :- B(x,y), C(y).")
+	u = logictest.MustParseUCQ("Q(x,y) :- A(x,y); Q(x,y) :- B(x,y), C(y).")
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 20; trial++ {
 		db := database.NewDatabase()
