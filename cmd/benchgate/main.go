@@ -1,0 +1,181 @@
+// Command benchgate compares two `go test -bench -benchmem` output files
+// and fails (exit 1) when the new run regresses: more than -maxtime
+// fractional slowdown in ns/op, or any increase at all in allocs/op. It is
+// a dependency-free stand-in for benchstat, tuned as a CI gate rather than
+// a statistics report.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 5 ./internal/database > old.txt
+//	... apply change ...
+//	go test -bench . -benchmem -count 5 ./internal/database > new.txt
+//	benchgate -old old.txt -new new.txt
+//
+// With -count > 1 the per-benchmark samples are reduced to their minimum
+// (the least-noise estimator for "how fast can this go"), so transient
+// machine noise in either file does not trip the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	oldPath  = flag.String("old", "", "baseline benchmark output")
+	newPath  = flag.String("new", "", "candidate benchmark output")
+	maxTime  = flag.Float64("maxtime", 0.15, "maximum allowed fractional ns/op regression")
+	maxAlloc = flag.Float64("maxalloc", 0, "maximum allowed fractional allocs/op regression")
+)
+
+// sample is one benchmark result line.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// parseBench reads either `go test -bench` text output or a `qbench -json`
+// report. Text benchmark lines ("BenchmarkName-8  123  45.6 ns/op ...")
+// with repeated runs of the same benchmark reduce to their minimum; JSON
+// reports contribute one sample per experiment (wall ns, alloc count).
+func parseBench(path string) (map[string]sample, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
+		var rep struct {
+			Experiments []struct {
+				ID     string `json:"id"`
+				WallNS int64  `json:"wall_ns"`
+				Allocs uint64 `json:"allocs"`
+			} `json:"experiments"`
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out := map[string]sample{}
+		for _, e := range rep.Experiments {
+			out[e.ID] = sample{nsPerOp: float64(e.WallNS), allocsPerOp: float64(e.Allocs), hasAllocs: true}
+		}
+		return out, nil
+	}
+	best := map[string]sample{}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so runs from machines with different
+		// core counts still align.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var s sample
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp = v
+				ok = true
+			case "allocs/op":
+				s.allocsPerOp = v
+				s.hasAllocs = true
+			}
+		}
+		if !ok {
+			continue
+		}
+		if prev, seen := best[name]; seen {
+			if s.nsPerOp < prev.nsPerOp {
+				prev.nsPerOp = s.nsPerOp
+			}
+			if s.hasAllocs && (!prev.hasAllocs || s.allocsPerOp < prev.allocsPerOp) {
+				prev.allocsPerOp = s.allocsPerOp
+				prev.hasAllocs = true
+			}
+			best[name] = prev
+		} else {
+			best[name] = s
+		}
+	}
+	return best, sc.Err()
+}
+
+func main() {
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	oldB, err := parseBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newB, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	names := make([]string, 0, len(oldB))
+	for name := range oldB {
+		if _, ok := newB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		// A PR that introduces the first benchmarks has no baseline to
+		// regress against; pass loudly rather than block it.
+		fmt.Println("benchgate: WARNING: no common benchmarks between the two files; nothing to gate")
+		return
+	}
+	failed := false
+	fmt.Printf("%-28s %14s %14s %8s   %s\n", "benchmark", "old ns/op", "new ns/op", "Δ", "allocs old→new")
+	for _, name := range names {
+		o, n := oldB[name], newB[name]
+		dt := (n.nsPerOp - o.nsPerOp) / o.nsPerOp
+		status := ""
+		if dt > *maxTime {
+			status = "  TIME REGRESSION"
+			failed = true
+		}
+		alloc := ""
+		if o.hasAllocs && n.hasAllocs {
+			alloc = fmt.Sprintf("%.0f→%.0f", o.allocsPerOp, n.allocsPerOp)
+			var da float64
+			if o.allocsPerOp > 0 {
+				da = (n.allocsPerOp - o.allocsPerOp) / o.allocsPerOp
+			} else if n.allocsPerOp > 0 {
+				da = 1 // from zero to something is always a regression
+			}
+			if da > *maxAlloc {
+				status += "  ALLOC REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-28s %14.1f %14.1f %+7.1f%%   %s%s\n",
+			strings.TrimPrefix(name, "Benchmark"), o.nsPerOp, n.nsPerOp, dt*100, alloc, status)
+	}
+	if failed {
+		fmt.Printf("\nFAIL: regression beyond -maxtime=%.0f%% or -maxalloc=%.0f%%\n", *maxTime*100, *maxAlloc*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nok: no benchmark regressions")
+}

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/big"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,15 +41,41 @@ import (
 )
 
 var (
-	quick    = flag.Bool("quick", false, "smaller instance sizes")
-	run      = flag.String("run", "", "run a single experiment (e.g. E5)")
-	parallel = flag.Int("parallel", 0, "worker count for the parallel Yannakakis engine (E18); 0 = GOMAXPROCS")
+	quick      = flag.Bool("quick", false, "smaller instance sizes")
+	run        = flag.String("run", "", "run a subset of experiments (comma-separated, e.g. E5,E18)")
+	parallel   = flag.Int("parallel", 0, "worker count for the parallel Yannakakis engine (E18); 0 = GOMAXPROCS")
+	jsonOut    = flag.String("json", "", "write a machine-readable report (wall ns, allocs, counted steps) to this file")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 )
 
 type experiment struct {
 	id    string
 	title string
 	fn    func()
+}
+
+// expReport is one experiment's entry in the -json report. Allocs and
+// AllocBytes are runtime.MemStats deltas across the experiment, so they
+// include instance generation; the per-operation numbers live in the
+// internal/database micro-benchmarks.
+type expReport struct {
+	ID         string                 `json:"id"`
+	Title      string                 `json:"title"`
+	WallNS     int64                  `json:"wall_ns"`
+	Allocs     uint64                 `json:"allocs"`
+	AllocBytes uint64                 `json:"alloc_bytes"`
+	Extra      map[string]interface{} `json:"extra,omitempty"`
+}
+
+// curExtra collects experiment-specific metrics (counted steps, delays)
+// while an experiment function runs; record() is a no-op outside -json runs.
+var curExtra map[string]interface{}
+
+func record(key string, value interface{}) {
+	if curExtra != nil {
+		curExtra[key] = value
+	}
 }
 
 func main() {
@@ -71,14 +100,67 @@ func main() {
 		{"E17", "Extension: random access and random-order enumeration for free-connex ACQs ([23], §4.3)", e17},
 		{"E18", "Extension: parallel Yannakakis with sharded hash joins — wall time scales with cores, counted steps do not", e18},
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[strings.ToUpper(id)] = true
+		}
+	}
+	var reports []expReport
 	for _, e := range exps {
-		if *run != "" && !strings.EqualFold(*run, e.id) {
+		if len(wanted) > 0 && !wanted[strings.ToUpper(e.id)] {
 			continue
 		}
 		fmt.Printf("\n=== %s: %s ===\n", e.id, e.title)
+		if *jsonOut != "" {
+			curExtra = map[string]interface{}{}
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		e.fn()
-		fmt.Printf("[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		fmt.Printf("[%s done in %v]\n", e.id, wall.Round(time.Millisecond))
+		if *jsonOut != "" {
+			rep := expReport{
+				ID: e.id, Title: e.title, WallNS: wall.Nanoseconds(),
+				Allocs: m1.Mallocs - m0.Mallocs, AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+			}
+			if len(curExtra) > 0 {
+				rep.Extra = curExtra
+			}
+			reports = append(reports, rep)
+			curExtra = nil
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		check(err)
+		runtime.GC()
+		check(pprof.WriteHeapProfile(f))
+		f.Close()
+	}
+	if *jsonOut != "" {
+		out := struct {
+			GoVersion   string      `json:"go_version"`
+			GOMAXPROCS  int         `json:"gomaxprocs"`
+			Quick       bool        `json:"quick"`
+			Experiments []expReport `json:"experiments"`
+		}{runtime.Version(), runtime.GOMAXPROCS(0), *quick, reports}
+		data, err := json.MarshalIndent(out, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, append(data, '\n'), 0o644))
+		fmt.Printf("\nwrote %s\n", *jsonOut)
 	}
 }
 
@@ -287,6 +369,9 @@ func e5() {
 		fmt.Printf("%-8d %-10d %-14d %-14v %-14d %-14v\n", n, stc.Outputs,
 			stc.MaxDelaySteps, stc.PreprocessTime.Round(time.Microsecond),
 			stl.MaxDelaySteps, stl.PreprocessTime.Round(time.Microsecond))
+		record(fmt.Sprintf("n%d_const_max_delay_steps", n), stc.MaxDelaySteps)
+		record(fmt.Sprintf("n%d_const_prep_ns", n), stc.PreprocessTime.Nanoseconds())
+		record(fmt.Sprintf("n%d_linear_max_delay_steps", n), stl.MaxDelaySteps)
 	}
 	fmt.Println("shape: constMaxΔ flat in n (Thm 4.6); linMaxΔ grows ~linearly (Thm 4.3).")
 }
@@ -772,6 +857,10 @@ func e18() {
 			n, len(res), seq.Round(time.Microsecond), par.Round(time.Microsecond),
 			float64(seq)/float64(par), cs.Steps(), cp.Steps(),
 			float64(cp.Steps())/float64(cs.Steps()))
+		record(fmt.Sprintf("n%d_seq_ns", n), seq.Nanoseconds())
+		record(fmt.Sprintf("n%d_par_ns", n), par.Nanoseconds())
+		record(fmt.Sprintf("n%d_seq_steps", n), cs.Steps())
+		record(fmt.Sprintf("n%d_par_steps", n), cp.Steps())
 	}
 	fmt.Println("shape: speedup tracks the worker count while stepRatio stays 1.000 —")
 	fmt.Println("parallelism changes wall time, never the counted O(‖φ‖·‖D‖·‖φ(D)‖) work.")

@@ -84,11 +84,14 @@ func CountFullJoin(rels []cq.Rel, vars []string, w Weight, s Semiring) (interfac
 			}
 		}
 	}
-	// Bottom-up DP: val[i] maps separator key -> Σ over tuples of node i of
-	// (Π charged weights · Π children sums).
+	// Bottom-up DP: per node, a KeyMap assigns dense ids to the distinct
+	// separator projections and vals[id] accumulates Σ over tuples of node i
+	// of (Π charged weights · Π children sums). Probing a child's sum is a
+	// fingerprint lookup (Find) — no string keys are built anywhere in the
+	// DP loop.
 	type nodeSums struct {
-		sepColsChild []int // columns of the child forming the separator
-		byKey        map[string]interface{}
+		ids  *database.KeyMap
+		vals []interface{}
 	}
 	sums := make([]nodeSums, len(rels))
 	for _, i := range post {
@@ -101,44 +104,54 @@ func CountFullJoin(rels []cq.Rel, vars []string, w Weight, s Semiring) (interfac
 				}
 			}
 		}
-		byKey := make(map[string]interface{})
+		// Hoist the separator column lists towards each child out of the
+		// tuple loop.
+		kids := ch[i]
+		childCols := make([][]int, len(kids))
+		for k, c := range kids {
+			childCols[k] = childSepParentCols(red, jt, i, c)
+		}
+		ns := nodeSums{ids: database.NewKeyMap(sepChild)}
 		for _, t := range red[i].R.Tuples {
 			val := s.One()
 			for _, col := range charged[i] {
 				val = s.Mul(val, w(t[col]))
 			}
-			for _, c := range ch[i] {
+			for k, c := range kids {
 				// Child c's sum keyed on the separator between i and c.
-				key := t.Key(childSepParentCols(red, jt, i, c))
-				cs, ok := sums[c].byKey[key]
-				if !ok {
+				var cs interface{}
+				if id := sums[c].ids.Find(t, childCols[k]); id >= 0 {
+					cs = sums[c].vals[id]
+				} else {
 					cs = s.Zero()
 				}
 				val = s.Mul(val, cs)
 			}
-			k := t.Key(sepChild)
-			if prev, ok := byKey[k]; ok {
-				byKey[k] = s.Add(prev, val)
+			id := ns.ids.Intern(t)
+			if id == len(ns.vals) {
+				ns.vals = append(ns.vals, val)
 			} else {
-				byKey[k] = val
+				ns.vals[id] = s.Add(ns.vals[id], val)
 			}
 		}
-		sums[i] = nodeSums{sepColsChild: sepChild, byKey: byKey}
+		sums[i] = ns
 	}
 	root := jt.Root()
 	total := s.Zero()
-	// Sum in sorted key order: map iteration order must not leak into the
-	// result for semirings whose Add is not exactly associative (floats),
-	// and deterministic totals are what the parallel engine is diff-tested
-	// against. (At the root the separator is empty, so there is normally a
-	// single key; the sort is belt and braces.)
-	rootKeys := make([]string, 0, len(sums[root].byKey))
-	for k := range sums[root].byKey {
-		rootKeys = append(rootKeys, k)
+	// Sum in sorted key order: neither map iteration nor interning order may
+	// leak into the result for semirings whose Add is not exactly
+	// associative (floats), and deterministic totals are what the parallel
+	// engine is diff-tested against. (At the root the separator is empty, so
+	// there is normally a single key; the sort is belt and braces.)
+	order := make([]int, sums[root].ids.Len())
+	for i := range order {
+		order[i] = i
 	}
-	sort.Strings(rootKeys)
-	for _, k := range rootKeys {
-		total = s.Add(total, sums[root].byKey[k])
+	sort.Slice(order, func(a, b int) bool {
+		return sums[root].ids.Key(order[a]).Compare(sums[root].ids.Key(order[b])) < 0
+	})
+	for _, id := range order {
+		total = s.Add(total, sums[root].vals[id])
 	}
 	return total, nil
 }

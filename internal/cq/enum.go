@@ -111,11 +111,13 @@ func (od *Odometer) Next() (database.Tuple, bool) { return od.o.Next() }
 // valid after a successful Next.
 func (od *Odometer) PartTuple(i int) database.Tuple {
 	j := od.origPos[i]
-	return od.o.buckets[j][od.o.cursors[j]]
+	return od.o.row(j, od.o.cursors[j])
 }
 
 // odometer enumerates a full acyclic join of relations over free variables
-// with constant delay after full reduction.
+// with constant delay after full reduction. Buckets hold row ids into each
+// part's columnar slab, so a cursor move is pure integer arithmetic and a
+// bucket switch is one allocation-free fingerprint lookup.
 type odometer struct {
 	c     *delay.Counter
 	order []int // node visit order (preorder of the join tree of parts)
@@ -126,12 +128,18 @@ type odometer struct {
 	probeCols []int // flat storage; see probes
 	probes    [][2][]int
 	idx       []*database.Index
+	slabs     []database.Slab // row storage per position
 	cursors   []int
-	buckets   [][]database.Tuple
-	outPos    [][2]int // for each output variable: (position, column)
+	buckets   [][]int32 // row ids into slabs[j]
+	outPos    [][2]int  // for each output variable: (position, column)
 	out       database.Tuple
 	started   bool
 	dead      bool
+}
+
+// row resolves the cursor-cur tuple of position j as a slab view.
+func (o *odometer) row(j, cur int) database.Tuple {
+	return o.slabs[j].Row(o.buckets[j][cur])
 }
 
 // NewOdometer builds the constant-delay enumerator for the full join of
@@ -186,15 +194,21 @@ func NewOdometer(head []string, parts []Rel, c *delay.Counter) (*Odometer, error
 	o.parentPos = make([]int, len(order))
 	o.probes = make([][2][]int, len(order))
 	o.idx = make([]*database.Index, len(order))
+	o.slabs = make([]database.Slab, len(order))
 	o.cursors = make([]int, len(order))
-	o.buckets = make([][]database.Tuple, len(order))
+	o.buckets = make([][]int32, len(order))
 	posOf := make(map[int]int, len(order))
 	for j, node := range order {
 		posOf[node] = j
 		o.rels[j] = parts[node]
+		o.slabs[j] = parts[node].R.Slab()
 		if j == 0 {
 			o.parentPos[j] = -1
-			o.buckets[j] = parts[node].R.Tuples
+			root := make([]int32, parts[node].R.Len())
+			for i := range root {
+				root[i] = int32(i)
+			}
+			o.buckets[j] = root
 			continue
 		}
 		p := jt.Parent[node]
@@ -238,8 +252,8 @@ func NewOdometer(head []string, parts []Rel, c *delay.Counter) (*Odometer, error
 func (o *odometer) reinit(j int) {
 	if j > 0 {
 		pp := o.parentPos[j]
-		pt := o.buckets[pp][o.cursors[pp]]
-		o.buckets[j] = o.idx[j].Lookup(pt.Key(o.probes[j][1]))
+		pt := o.row(pp, o.cursors[pp])
+		o.buckets[j] = o.idx[j].Lookup(pt, o.probes[j][1])
 		o.c.Tick(1)
 	}
 	o.cursors[j] = 0
@@ -285,7 +299,7 @@ func (o *odometer) Next() (database.Tuple, bool) {
 
 func (o *odometer) emit() database.Tuple {
 	for i, pc := range o.outPos {
-		o.out[i] = o.buckets[pc[0]][o.cursors[pc[0]]][pc[1]]
+		o.out[i] = o.row(pc[0], o.cursors[pc[0]])[pc[1]]
 		o.c.Tick(1)
 	}
 	return o.out

@@ -31,19 +31,57 @@ type RandomAccess struct {
 	tree  *hypergraph.JoinTree
 
 	// Per node: tuple weights (number of subtree extensions) and, per
-	// separator key, the bucket tuples with cumulative weights.
-	weight  [][]*big.Int
-	buckets []map[string]*bucket
-	rootB   *bucket
+	// separator key, the bucket tuples with cumulative weights. Buckets are
+	// fingerprint-keyed with exact collision resolution via the chain in
+	// bucket.next, so probes never build string keys.
+	weight    [][]*big.Int
+	buckets   []map[uint64]*bucket
+	childCols [][][]int // childCols[node][k]: parent columns forming the separator with child k
+	rootB     *bucket
 
 	outPos [][2]int // head variable -> (node, column)
 	total  *big.Int
 }
 
 type bucket struct {
+	key    database.Tuple // the separator projection all bucket tuples share
+	next   *bucket        // fingerprint-collision chain (distinct key, same hash)
 	tuples []database.Tuple
 	weight []*big.Int // weight of each tuple
 	cum    []*big.Int // cumulative weights (cum[i] = Σ_{j≤i} weight[j])
+}
+
+// findBucket walks the chain at t's fingerprint, comparing the actual
+// separator values.
+func findBucket(m map[uint64]*bucket, t database.Tuple, cols []int) *bucket {
+	for b := m[t.KeyHash(cols)]; b != nil; b = b.next {
+		match := true
+		for i, c := range cols {
+			if b.key[i] != t[c] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return b
+		}
+	}
+	return nil
+}
+
+// internBucket is findBucket with get-or-create semantics.
+func internBucket(m map[uint64]*bucket, t database.Tuple, cols []int) *bucket {
+	if b := findBucket(m, t, cols); b != nil {
+		return b
+	}
+	key := make(database.Tuple, len(cols))
+	for i, c := range cols {
+		key[i] = t[c]
+	}
+	fp := t.KeyHash(cols)
+	b := &bucket{key: key, next: m[fp]}
+	m[fp] = b
+	return b
 }
 
 func (b *bucket) totalWeight() *big.Int {
@@ -95,7 +133,23 @@ func NewRandomAccess(db *database.Database, q *logic.CQ) (*RandomAccess, error) 
 	}
 	ra := &RandomAccess{head: q.Head, rels: parts, tree: jt}
 	ra.weight = make([][]*big.Int, len(parts))
-	ra.buckets = make([]map[string]*bucket, len(parts))
+	ra.buckets = make([]map[uint64]*bucket, len(parts))
+	// Hoist the separator column lists: childCols[i][k] are the columns of
+	// node i's tuples forming the separator with its k-th child, aligned
+	// with that child's own sepCols grouping.
+	ra.childCols = make([][][]int, len(parts))
+	for i := range parts {
+		ra.childCols[i] = make([][]int, len(ch[i]))
+		for k, c := range ch[i] {
+			var cols []int
+			for _, v := range parts[c].Schema {
+				if pc := parts[i].col(v); pc >= 0 {
+					cols = append(cols, pc)
+				}
+			}
+			ra.childCols[i][k] = cols
+		}
+	}
 
 	// Bottom-up weights: weight(t) = Π over children of the total weight
 	// of the child bucket matching t on the separator.
@@ -104,8 +158,8 @@ func NewRandomAccess(db *database.Database, q *logic.CQ) (*RandomAccess, error) 
 		ra.weight[i] = make([]*big.Int, rel.R.Len())
 		for ti, t := range rel.R.Tuples {
 			w := big.NewInt(1)
-			for _, c := range ch[i] {
-				b := ra.childBucket(i, c, t)
+			for k, c := range ch[i] {
+				b := ra.childBucket(i, k, c, t)
 				if b == nil {
 					w = new(big.Int)
 					break
@@ -116,14 +170,9 @@ func NewRandomAccess(db *database.Database, q *logic.CQ) (*RandomAccess, error) 
 		}
 		// Group into buckets keyed on the separator towards the parent.
 		sep := ra.sepCols(i, jt.Parent[i])
-		ra.buckets[i] = map[string]*bucket{}
+		ra.buckets[i] = map[uint64]*bucket{}
 		for ti, t := range rel.R.Tuples {
-			key := t.Key(sep)
-			b := ra.buckets[i][key]
-			if b == nil {
-				b = &bucket{}
-				ra.buckets[i][key] = b
-			}
+			b := internBucket(ra.buckets[i], t, sep)
 			b.tuples = append(b.tuples, t)
 			b.weight = append(b.weight, ra.weight[i][ti])
 			prev := new(big.Int)
@@ -134,7 +183,7 @@ func NewRandomAccess(db *database.Database, q *logic.CQ) (*RandomAccess, error) 
 		}
 	}
 	root := jt.Root()
-	ra.rootB = ra.buckets[root][database.Tuple{}.Key(nil)]
+	ra.rootB = findBucket(ra.buckets[root], database.Tuple{}, nil)
 	if ra.rootB == nil {
 		ra.rootB = &bucket{}
 	}
@@ -180,15 +229,10 @@ func (ra *RandomAccess) sepCols(i, p int) []int {
 	return cols
 }
 
-// childBucket returns child c's bucket matching parent tuple t.
-func (ra *RandomAccess) childBucket(parent, c int, t database.Tuple) *bucket {
-	var cols []int
-	for _, v := range ra.rels[c].Schema {
-		if k := ra.rels[parent].col(v); k >= 0 {
-			cols = append(cols, k)
-		}
-	}
-	return ra.buckets[c][t.Key(cols)]
+// childBucket returns the bucket of child c (the k-th child of parent)
+// matching parent tuple t on the precomputed separator columns.
+func (ra *RandomAccess) childBucket(parent, k, c int, t database.Tuple) *bucket {
+	return findBucket(ra.buckets[c], t, ra.childCols[parent][k])
 }
 
 // Count returns |φ(D)|, computed during construction — this doubles as a
@@ -217,7 +261,7 @@ func (ra *RandomAccess) Get(i *big.Int) (database.Tuple, error) {
 		// radix for child k = Π_{j>k} totalWeight(bucket_j)
 		bks := make([]*bucket, len(kids))
 		for k, c := range kids {
-			bks[k] = ra.childBucket(node, c, t)
+			bks[k] = ra.childBucket(node, k, c, t)
 		}
 		for k := range kids {
 			radix := big.NewInt(1)

@@ -1,0 +1,108 @@
+package database_test
+
+// Micro-benchmarks for the index/probe layer: index construction, point
+// lookups, and the semijoin built on them (sequential and parallel). Run
+// with -benchmem; the lookup path is pinned allocation-free by
+// TestLookupAllocs, and cmd/benchgate compares these numbers across
+// branches in CI.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+)
+
+// benchRelation builds a deduplicated binary relation of about n tuples
+// over a domain of dom values per column.
+func benchRelation(name string, seed int64, n, dom int) *database.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := database.NewRelation(name, 2)
+	for i := 0; i < n; i++ {
+		r.InsertValues(database.Value(1+rng.Intn(dom)), database.Value(1+rng.Intn(dom)))
+	}
+	r.Dedup()
+	return r
+}
+
+// freshView returns a relation sharing r's tuples but none of its cached
+// indexes, so per-iteration index builds are really measured.
+func freshView(r *database.Relation) *database.Relation {
+	v := database.NewRelation(r.Name, r.Arity)
+	v.Tuples = r.Tuples
+	return v
+}
+
+const (
+	benchN   = 1 << 16
+	benchDom = 1 << 15
+)
+
+func BenchmarkIndexBuild(b *testing.B) {
+	r := benchRelation("R", 1, benchN, benchDom)
+	b.SetBytes(int64(r.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		freshView(r).IndexOn([]int{0})
+	}
+}
+
+func BenchmarkIndexBuildPar(b *testing.B) {
+	r := benchRelation("R", 1, benchN, benchDom)
+	b.SetBytes(int64(r.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		freshView(r).ParIndexOn([]int{0}, 4)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := benchRelation("R", 1, benchN, benchDom)
+	probes := benchRelation("P", 2, 4096, benchDom)
+	ix := r.IndexOn([]int{0})
+	cols := []int{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		t := probes.Tuples[i%probes.Len()]
+		if len(ix.Lookup(t, cols)) > 0 {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkSemijoin(b *testing.B) {
+	r := benchRelation("R", 1, benchN, benchDom)
+	s := benchRelation("S", 2, benchN, benchDom)
+	b.SetBytes(int64(r.Len() + s.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		database.Semijoin(freshView(r), []int{1}, freshView(s), []int{0})
+	}
+}
+
+func BenchmarkSemijoinPar(b *testing.B) {
+	r := benchRelation("R", 1, benchN, benchDom)
+	s := benchRelation("S", 2, benchN, benchDom)
+	b.SetBytes(int64(r.Len() + s.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		database.ParSemijoin(freshView(r), []int{1}, freshView(s), []int{0}, 4)
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	r := benchRelation("R", 1, benchN/4, benchDom)
+	s := benchRelation("S", 2, benchN/4, benchDom)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		database.Join("J", freshView(r), []int{1}, freshView(s), []int{0})
+	}
+}

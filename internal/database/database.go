@@ -11,10 +11,10 @@ package database
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Value is a domain element. The linear order on the domain required by the
@@ -82,7 +82,10 @@ func (t Tuple) String() string {
 }
 
 // Key returns a hashable projection of t onto the given columns. The
-// encoding is injective for fixed len(cols).
+// encoding is injective for fixed len(cols). The engines' hot paths use
+// the allocation-free KeyHash fingerprints instead (see index.go); Key
+// remains for callers that want an exact map key without collision
+// handling.
 func (t Tuple) Key(cols []int) string {
 	var b []byte
 	for _, c := range cols {
@@ -112,8 +115,11 @@ type Relation struct {
 	Arity  int
 	Tuples []Tuple
 
-	mu      sync.Mutex // guards indexes
-	indexes map[string]*Index
+	mu         sync.Mutex // guards index/slab construction
+	indexes    map[uint64]*Index
+	indexesBig map[string]*Index // column lists too wide for a packed signature
+	slabPtr    atomic.Pointer[Slab]
+	sorted     bool // set by Sort/Dedup, cleared by inserts; enables binary-search Contains
 }
 
 // NewRelation creates an empty relation of the given name and arity.
@@ -156,6 +162,9 @@ func (r *Relation) Insert(t Tuple) {
 func (r *Relation) invalidateIndexes() {
 	r.mu.Lock()
 	r.indexes = nil
+	r.indexesBig = nil
+	r.slabPtr.Store(nil)
+	r.sorted = false
 	r.mu.Unlock()
 }
 
@@ -167,11 +176,14 @@ func (r *Relation) InsertValues(vs ...Value) {
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.Tuples) }
 
-// Sort orders the tuples lexicographically.
+// Sort orders the tuples lexicographically. Row ids held by previously
+// built indexes would dangle, so the caches are invalidated.
 func (r *Relation) Sort() {
 	sort.Slice(r.Tuples, func(i, j int) bool {
 		return r.Tuples[i].Compare(r.Tuples[j]) < 0
 	})
+	r.invalidateIndexes()
+	r.sorted = true
 }
 
 // Dedup sorts the relation and removes duplicate tuples.
@@ -188,17 +200,22 @@ func (r *Relation) Dedup() {
 	}
 	r.Tuples = out
 	r.invalidateIndexes()
+	r.sorted = true
 }
 
-// Contains reports whether the relation holds the given tuple.
-// It builds (and caches) a full-tuple index on first use.
+// Contains reports whether the relation holds the given tuple. On a
+// sorted relation (any relation after Dedup or Sort) it is a plain binary
+// search — no index build, no allocation. Otherwise it probes the
+// full-arity fingerprint index, building it on first use.
 func (r *Relation) Contains(t Tuple) bool {
-	cols := make([]int, r.Arity)
-	for i := range cols {
-		cols[i] = i
+	if r.sorted {
+		i := sort.Search(len(r.Tuples), func(i int) bool {
+			return r.Tuples[i].Compare(t) >= 0
+		})
+		return i < len(r.Tuples) && r.Tuples[i].Equal(t)
 	}
-	idx := r.IndexOn(cols)
-	return len(idx.Lookup(t.Key(cols))) > 0
+	cols := identityCols(r.Arity)
+	return r.IndexOn(cols).Contains(t, cols)
 }
 
 // Clone returns a deep copy of the relation (indexes are not copied).
@@ -211,51 +228,6 @@ func (r *Relation) Clone() *Relation {
 	return c
 }
 
-// Index is a hash index of a relation's tuples keyed on a column subset.
-// The buckets are held in one or more shards with disjoint key sets,
-// partitioned by key hash; a sequential build produces a single shard, a
-// parallel build (ParIndexOn) one shard per worker. After construction the
-// index is read-only, so lookups from many goroutines need no locking.
-type Index struct {
-	Cols   []int
-	shards []map[string][]Tuple // disjoint by key hash; len is a power of two
-	mask   uint32               // len(shards) - 1
-}
-
-// shardHash is FNV-1a over the key bytes; it routes a key to its shard.
-func shardHash(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return h
-}
-
-func (ix *Index) shardFor(key string) map[string][]Tuple {
-	if ix.mask == 0 {
-		return ix.shards[0]
-	}
-	return ix.shards[shardHash(key)&ix.mask]
-}
-
-// Lookup returns all indexed tuples whose key columns encode to key.
-func (ix *Index) Lookup(key string) []Tuple { return ix.shardFor(key)[key] }
-
-// LookupTuple projects probe onto probeCols and returns the matching bucket.
-func (ix *Index) LookupTuple(probe Tuple, probeCols []int) []Tuple {
-	return ix.Lookup(probe.Key(probeCols))
-}
-
-// Buckets returns the number of distinct keys in the index.
-func (ix *Index) Buckets() int {
-	n := 0
-	for _, s := range ix.shards {
-		n += len(s)
-	}
-	return n
-}
-
 // IndexOn builds (or returns the cached) hash index on the given columns.
 // It is safe to call from multiple goroutines; concurrent builds on the
 // same relation are serialized and the first result is shared.
@@ -264,86 +236,44 @@ func (r *Relation) IndexOn(cols []int) *Index {
 }
 
 // ParIndexOn is IndexOn with the build parallelized over par workers:
-// tuple keys are encoded in parallel chunks, then the buckets are built as
-// par hash-disjoint shards, one goroutine each. The resulting merged view
-// answers Lookup without locks and is cached like a sequential index.
+// tuple fingerprints are computed in parallel chunks, then the buckets are
+// built as par fingerprint-disjoint shards, one goroutine each. The
+// resulting merged view answers Lookup without locks and is cached like a
+// sequential index.
 func (r *Relation) ParIndexOn(cols []int, par int) *Index {
 	return r.indexOn(cols, par)
 }
 
 func (r *Relation) indexOn(cols []int, par int) *Index {
-	sig := fmt.Sprint(cols)
+	sig, packed := colsSig(cols)
+	var bigSig string
+	if !packed {
+		bigSig = colsSigBig(cols)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.indexes == nil {
-		r.indexes = make(map[string]*Index)
-	}
-	if ix, ok := r.indexes[sig]; ok {
+	if packed {
+		if ix, ok := r.indexes[sig]; ok {
+			return ix
+		}
+	} else if ix, ok := r.indexesBig[bigSig]; ok {
 		return ix
 	}
 	if par < 2 || len(r.Tuples) < 1024 {
-		ix := &Index{Cols: append([]int(nil), cols...),
-			shards: []map[string][]Tuple{make(map[string][]Tuple, len(r.Tuples))}}
-		for _, t := range r.Tuples {
-			k := t.Key(cols)
-			ix.shards[0][k] = append(ix.shards[0][k], t)
+		par = 1
+	}
+	ix := buildIndex(r.Tuples, cols, r.slabLocked(), par, defaultKeyHash)
+	if packed {
+		if r.indexes == nil {
+			r.indexes = make(map[uint64]*Index)
 		}
 		r.indexes[sig] = ix
-		return ix
-	}
-	ix := buildSharded(r.Tuples, cols, par)
-	r.indexes[sig] = ix
-	return ix
-}
-
-// buildSharded builds the index in two parallel phases: encode all keys in
-// chunks, then insert into hash-disjoint shards, one worker per shard.
-func buildSharded(tuples []Tuple, cols []int, par int) *Index {
-	if par > runtime.GOMAXPROCS(0) {
-		par = runtime.GOMAXPROCS(0)
-	}
-	shardCount := 1
-	for shardCount < par {
-		shardCount <<= 1
-	}
-	keys := make([]string, len(tuples))
-	var wg sync.WaitGroup
-	chunk := (len(tuples) + par - 1) / par
-	for w := 0; w < par; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(tuples) {
-			hi = len(tuples)
+	} else {
+		if r.indexesBig == nil {
+			r.indexesBig = make(map[string]*Index)
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				keys[i] = tuples[i].Key(cols)
-			}
-		}(lo, hi)
+		r.indexesBig[bigSig] = ix
 	}
-	wg.Wait()
-	ix := &Index{Cols: append([]int(nil), cols...),
-		shards: make([]map[string][]Tuple, shardCount),
-		mask:   uint32(shardCount - 1)}
-	for s := 0; s < shardCount; s++ {
-		wg.Add(1)
-		go func(s uint32) {
-			defer wg.Done()
-			m := make(map[string][]Tuple, len(tuples)/shardCount+1)
-			for i, k := range keys {
-				if shardHash(k)&ix.mask == s {
-					m[k] = append(m[k], tuples[i])
-				}
-			}
-			ix.shards[s] = m
-		}(uint32(s))
-	}
-	wg.Wait()
 	return ix
 }
 
@@ -351,13 +281,30 @@ func buildSharded(tuples []Tuple, cols []int, par int) *Index {
 // onto the given columns.
 func (r *Relation) Project(name string, cols []int) *Relation {
 	out := NewRelation(name, len(cols))
-	seen := make(map[string]bool, len(r.Tuples))
+	// Fingerprint-keyed dedup with exact collision resolution against the
+	// already-kept rows.
+	seen := make(map[uint64][]int32, len(r.Tuples))
 	for _, t := range r.Tuples {
-		k := t.Key(cols)
-		if seen[k] {
+		fp := t.KeyHash(cols)
+		dup := false
+		for _, j := range seen[fp] {
+			kept := out.Tuples[j]
+			same := true
+			for i, c := range cols {
+				if kept[i] != t[c] {
+					same = false
+					break
+				}
+			}
+			if same {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = true
+		seen[fp] = append(seen[fp], int32(len(out.Tuples)))
 		p := make(Tuple, len(cols))
 		for i, c := range cols {
 			p[i] = t[c]
@@ -385,7 +332,7 @@ func Semijoin(r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
 	ix := s.IndexOn(sCols)
 	out := NewRelation(r.Name, r.Arity)
 	for _, t := range r.Tuples {
-		if len(ix.LookupTuple(t, rCols)) > 0 {
+		if ix.Contains(t, rCols) {
 			out.Tuples = append(out.Tuples, t)
 		}
 	}
@@ -401,7 +348,7 @@ func ParSemijoin(r *Relation, rCols []int, s *Relation, sCols []int, par int) *R
 		ix := s.ParIndexOn(sCols, par)
 		out := NewRelation(r.Name, r.Arity)
 		for _, t := range r.Tuples {
-			if len(ix.LookupTuple(t, rCols)) > 0 {
+			if ix.Contains(t, rCols) {
 				out.Tuples = append(out.Tuples, t)
 			}
 		}
@@ -425,7 +372,7 @@ func ParSemijoin(r *Relation, rCols []int, s *Relation, sCols []int, par int) *R
 			defer wg.Done()
 			var keep []Tuple
 			for _, t := range r.Tuples[lo:hi] {
-				if len(ix.LookupTuple(t, rCols)) > 0 {
+				if ix.Contains(t, rCols) {
 					keep = append(keep, t)
 				}
 			}
@@ -456,7 +403,8 @@ func Join(name string, r *Relation, rCols []int, s *Relation, sCols []int) *Rela
 	}
 	out := NewRelation(name, r.Arity+len(keep))
 	for _, t := range r.Tuples {
-		for _, u := range ix.LookupTuple(t, rCols) {
+		for _, id := range ix.Lookup(t, rCols) {
+			u := ix.Row(id)
 			j := make(Tuple, 0, out.Arity)
 			j = append(j, t...)
 			for _, c := range keep {

@@ -77,11 +77,17 @@ func TestIndexLookup(t *testing.T) {
 	r.InsertValues(1, 11)
 	r.InsertValues(2, 20)
 	ix := r.IndexOn([]int{0})
-	if got := len(ix.LookupTuple(Tuple{1}, []int{0})); got != 2 {
+	if got := len(ix.Lookup(Tuple{1}, []int{0})); got != 2 {
 		t.Errorf("lookup 1: want 2 tuples, got %d", got)
 	}
-	if got := len(ix.LookupTuple(Tuple{3}, []int{0})); got != 0 {
+	if got := len(ix.Lookup(Tuple{3}, []int{0})); got != 0 {
 		t.Errorf("lookup 3: want 0 tuples, got %d", got)
+	}
+	if got, ok := ix.LookupRow(Tuple{2}, []int{0}); !ok || !got.Equal(Tuple{2, 20}) {
+		t.Errorf("LookupRow 2: want (2,20), got %v ok=%v", got, ok)
+	}
+	if _, ok := ix.LookupRow(Tuple{9}, []int{0}); ok {
+		t.Errorf("LookupRow 9: want miss")
 	}
 	if ix.Buckets() != 2 {
 		t.Errorf("want 2 buckets, got %d", ix.Buckets())
@@ -301,15 +307,15 @@ func TestParIndexOnMatchesIndexOn(t *testing.T) {
 	if ixSeq.Buckets() != ixPar.Buckets() {
 		t.Fatalf("bucket count: seq %d, par %d", ixSeq.Buckets(), ixPar.Buckets())
 	}
+	cols := []int{1}
 	for _, tu := range r.Tuples {
-		k := tu.Key([]int{1})
-		a, b := ixSeq.Lookup(k), ixPar.Lookup(k)
+		a, b := ixSeq.Lookup(tu, cols), ixPar.Lookup(tu, cols)
 		if len(a) != len(b) {
-			t.Fatalf("key %q: seq %d tuples, par %d", k, len(a), len(b))
+			t.Fatalf("key %v: seq %d tuples, par %d", tu[1], len(a), len(b))
 		}
 		for i := range a {
-			if !a[i].Equal(b[i]) {
-				t.Fatalf("key %q tuple %d: %v vs %v", k, i, a[i], b[i])
+			if !ixSeq.Row(a[i]).Equal(ixPar.Row(b[i])) {
+				t.Fatalf("key %v tuple %d: %v vs %v", tu[1], i, ixSeq.Row(a[i]), ixPar.Row(b[i]))
 			}
 		}
 	}

@@ -138,7 +138,10 @@ func TestDifferentialIndex(t *testing.T) {
 					want = append(want, tp)
 				}
 			}
-			got := idx.Lookup(key)
+			var got []database.Tuple
+			for _, id := range idx.Lookup(p, cols) {
+				got = append(got, idx.Row(id))
+			}
 			if !reflect.DeepEqual(sortTuples(got), sortTuples(want)) {
 				t.Fatalf("seed %d: Lookup(%q) = %v, scan = %v\n%s", seed, key, got, want, dump(r))
 			}

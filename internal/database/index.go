@@ -1,0 +1,488 @@
+package database
+
+// The index layer: allocation-free hash indexes over columnar tuple slabs.
+//
+// A Relation freezes its tuples into a Slab — one flat []Value with
+// arity-strided rows — and an Index groups row ids by a 64-bit fingerprint
+// of the key columns. Buckets store row ids (int32) into the slab, so a
+// probe performs no allocation: hash the probe columns, look the
+// fingerprint up, compare the actual key columns of the bucketed rows to
+// resolve fingerprint collisions exactly, and return a sub-slice of the
+// index's row array. The RAM-model dictionaries of Section 2.3 (linear
+// preprocessing, constant-time probes) are exactly this structure; keeping
+// the probe free of allocation is what makes the constant factor small.
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// Slab is a relation's frozen tuple storage: row i occupies
+// data[i*arity : (i+1)*arity]. Rows returned by Row are views into the
+// slab, never copies.
+type Slab struct {
+	data  []Value
+	arity int
+}
+
+// Row returns row i as a tuple view into the slab.
+func (s Slab) Row(i int32) Tuple {
+	a := int(i) * s.arity
+	return Tuple(s.data[a : a+s.arity])
+}
+
+// Len returns the number of rows.
+func (s Slab) Len() int {
+	if s.arity == 0 {
+		return 0
+	}
+	return len(s.data) / s.arity
+}
+
+// Slab returns the relation's columnar slab, building and caching it on
+// first use. The slab is invalidated by mutations, like the indexes.
+func (r *Relation) Slab() Slab {
+	if p := r.slabPtr.Load(); p != nil {
+		return *p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slabLocked()
+}
+
+// slabLocked is Slab with r.mu already held.
+func (r *Relation) slabLocked() Slab {
+	if p := r.slabPtr.Load(); p != nil {
+		return *p
+	}
+	s := Slab{arity: r.Arity, data: make([]Value, len(r.Tuples)*r.Arity)}
+	for i, t := range r.Tuples {
+		copy(s.data[i*r.Arity:(i+1)*r.Arity], t)
+	}
+	r.slabPtr.Store(&s)
+	return s
+}
+
+// Row returns tuple i as a view into the relation's slab.
+func (r *Relation) Row(i int) Tuple { return r.Slab().Row(int32(i)) }
+
+// --- fingerprints -----------------------------------------------------
+
+const keyHashSeed uint64 = 0x9e3779b97f4a7c15
+
+// foldHash mixes one value into a running fingerprint with a 128-bit
+// multiply (wyhash-style); one multiplication per column, no allocation.
+func foldHash(h uint64, v Value) uint64 {
+	hi, lo := bits.Mul64(h^uint64(v), 0xa0761d6478bd642f)
+	return hi ^ lo
+}
+
+// KeyHash returns a 64-bit fingerprint of t's projection onto cols. Equal
+// projections always collide; distinct projections collide with
+// probability ~2^-64 and every index resolves such collisions exactly by
+// comparing the real key columns.
+func (t Tuple) KeyHash(cols []int) uint64 {
+	h := keyHashSeed ^ uint64(len(cols))
+	for _, c := range cols {
+		h = foldHash(h, t[c])
+	}
+	return h
+}
+
+// keyHashFunc abstracts the fingerprint function so tests can force
+// collisions; production indexes always use Tuple.KeyHash.
+type keyHashFunc func(t Tuple, cols []int) uint64
+
+func defaultKeyHash(t Tuple, cols []int) uint64 { return t.KeyHash(cols) }
+
+// identCols[:k] is the identity column list [0..k); shared so full-arity
+// probes need not allocate one.
+var identCols = func() []int {
+	c := make([]int, 64)
+	for i := range c {
+		c[i] = i
+	}
+	return c
+}()
+
+func identityCols(arity int) []int {
+	if arity <= len(identCols) {
+		return identCols[:arity]
+	}
+	c := make([]int, arity)
+	for i := range c {
+		c[i] = i
+	}
+	return c
+}
+
+// colsSig packs a column list into one uint64 — 4 bits of length, 7 bits
+// per column — as the index-cache key, replacing the old fmt.Sprint
+// signature (reflection plus an allocation under the relation mutex).
+// Lists longer than 8 columns or with column numbers ≥ 126 fall back to a
+// byte-string signature (colsSigBig).
+func colsSig(cols []int) (uint64, bool) {
+	if len(cols) > 8 {
+		return 0, false
+	}
+	sig := uint64(len(cols))
+	for i, c := range cols {
+		if c >= 126 {
+			return 0, false
+		}
+		sig |= uint64(c+1) << (4 + 7*i)
+	}
+	return sig, true
+}
+
+func colsSigBig(cols []int) string {
+	b := make([]byte, 0, 2*len(cols))
+	for _, c := range cols {
+		b = append(b, byte(c), byte(c>>8))
+	}
+	return string(b)
+}
+
+// --- the index --------------------------------------------------------
+
+// span is one bucket: rows [off, off+n) of its shard's row array, all
+// sharing a single key-column projection.
+type span struct{ off, n int32 }
+
+// shard holds the buckets of the fingerprints routed to it. buckets maps a
+// fingerprint to its first bucket; in the (cosmically rare) event that two
+// distinct keys share a fingerprint, the extra buckets live in overflow.
+type shard struct {
+	buckets  map[uint64]span
+	rows     []int32
+	overflow map[uint64][]span
+}
+
+// Index is a hash index of a relation's tuples keyed on a column subset.
+// Buckets hold row ids into the relation's Slab, grouped by the exact key
+// projection (fingerprint collisions are resolved at build time), and are
+// partitioned into one or more fingerprint-disjoint shards: a sequential
+// build produces a single shard, a parallel build (ParIndexOn) one shard
+// per worker. After construction the index is read-only, so lookups from
+// many goroutines need no locking, and the probe path performs zero
+// allocations.
+type Index struct {
+	Cols   []int
+	slab   Slab
+	hash   keyHashFunc
+	shards []shard
+	mask   uint32
+}
+
+// keyEq reports whether the indexed row's key columns equal the probe's
+// probeCols projection.
+func (ix *Index) keyEq(row int32, probe Tuple, probeCols []int) bool {
+	t := ix.slab.Row(row)
+	for i, c := range ix.Cols {
+		if t[c] != probe[probeCols[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the ids of all rows whose key columns equal probe's
+// projection onto probeCols (aligned with the index's Cols). The returned
+// slice aliases the index's row array; it is valid until the index is
+// garbage collected and must not be modified. Lookup allocates nothing.
+func (ix *Index) Lookup(probe Tuple, probeCols []int) []int32 {
+	fp := ix.hash(probe, probeCols)
+	sh := &ix.shards[uint32(fp)&ix.mask]
+	sp, ok := sh.buckets[fp]
+	if !ok {
+		return nil
+	}
+	if ix.keyEq(sh.rows[sp.off], probe, probeCols) {
+		return sh.rows[sp.off : sp.off+sp.n : sp.off+sp.n]
+	}
+	for _, sp := range sh.overflow[fp] {
+		if ix.keyEq(sh.rows[sp.off], probe, probeCols) {
+			return sh.rows[sp.off : sp.off+sp.n : sp.off+sp.n]
+		}
+	}
+	return nil
+}
+
+// LookupRow returns the first indexed row matching probe on probeCols, as
+// a view into the slab. It allocates nothing.
+func (ix *Index) LookupRow(probe Tuple, probeCols []int) (Tuple, bool) {
+	ids := ix.Lookup(probe, probeCols)
+	if len(ids) == 0 {
+		return nil, false
+	}
+	return ix.slab.Row(ids[0]), true
+}
+
+// Contains reports whether some indexed row matches probe on probeCols.
+func (ix *Index) Contains(probe Tuple, probeCols []int) bool {
+	return len(ix.Lookup(probe, probeCols)) > 0
+}
+
+// Row resolves a row id returned by Lookup to its tuple view.
+func (ix *Index) Row(id int32) Tuple { return ix.slab.Row(id) }
+
+// Buckets returns the number of distinct keys in the index.
+func (ix *Index) Buckets() int {
+	n := 0
+	for i := range ix.shards {
+		n += len(ix.shards[i].buckets)
+		for _, sps := range ix.shards[i].overflow {
+			n += len(sps)
+		}
+	}
+	return n
+}
+
+// buildIndex constructs the index over tuples (backed by sl) keyed on
+// cols, with the fingerprint pass and the shard builds fanned out over par
+// workers when par ≥ 2.
+func buildIndex(tuples []Tuple, cols []int, sl Slab, par int, hash keyHashFunc) *Index {
+	if par > runtime.GOMAXPROCS(0) {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 1 {
+		par = 1
+	}
+	shardCount := 1
+	for shardCount < par {
+		shardCount <<= 1
+	}
+	n := len(tuples)
+	fps := make([]uint64, n)
+	if par < 2 || n < 1024 {
+		for i, t := range tuples {
+			fps[i] = hash(t, cols)
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + par - 1) / par
+		for w := 0; w < par; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					fps[i] = hash(tuples[i], cols)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	ix := &Index{
+		Cols:   append([]int(nil), cols...),
+		slab:   sl,
+		hash:   hash,
+		shards: make([]shard, shardCount),
+		mask:   uint32(shardCount - 1),
+	}
+	if shardCount == 1 {
+		ix.shards[0] = ix.buildShard(fps, 0)
+		return ix
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shardCount; s++ {
+		wg.Add(1)
+		go func(s uint32) {
+			defer wg.Done()
+			ix.shards[s] = ix.buildShard(fps, s)
+		}(uint32(s))
+	}
+	wg.Wait()
+	return ix
+}
+
+// buildShard builds the CSR bucket layout for the rows whose fingerprint
+// routes to shard s: assign each distinct fingerprint a dense id, count,
+// prefix-sum, fill, then split any bucket that mixes distinct true keys
+// (a real fingerprint collision) into per-key groups.
+func (ix *Index) buildShard(fps []uint64, s uint32) shard {
+	idOf := make(map[uint64]int32)
+	var counts []int32
+	var mine, ids []int32
+	for i, fp := range fps {
+		if uint32(fp)&ix.mask != s {
+			continue
+		}
+		id, ok := idOf[fp]
+		if !ok {
+			id = int32(len(counts))
+			idOf[fp] = id
+			counts = append(counts, 0)
+		}
+		mine = append(mine, int32(i))
+		ids = append(ids, id)
+		counts[id]++
+	}
+	offs := make([]int32, len(counts))
+	var off int32
+	for id, c := range counts {
+		offs[id] = off
+		off += c
+	}
+	rows := make([]int32, len(mine))
+	cur := make([]int32, len(counts))
+	for k, rowID := range mine {
+		id := ids[k]
+		rows[offs[id]+cur[id]] = rowID
+		cur[id]++
+	}
+	buckets := make(map[uint64]span, len(counts))
+	for fp, id := range idOf {
+		buckets[fp] = span{offs[id], counts[id]}
+	}
+	sh := shard{buckets: buckets, rows: rows}
+	// Exactness pass: a fingerprint bucket must hold a single true key.
+	for fp, sp := range buckets {
+		if sp.n > 1 && !ix.uniformKey(sh.rows, sp) {
+			groups := ix.splitSpan(sh.rows, sp)
+			buckets[fp] = groups[0]
+			if sh.overflow == nil {
+				sh.overflow = make(map[uint64][]span)
+			}
+			sh.overflow[fp] = groups[1:]
+		}
+	}
+	return sh
+}
+
+// uniformKey reports whether every row of the span agrees with the first
+// on the key columns.
+func (ix *Index) uniformKey(rows []int32, sp span) bool {
+	first := ix.slab.Row(rows[sp.off])
+	for i := sp.off + 1; i < sp.off+sp.n; i++ {
+		t := ix.slab.Row(rows[i])
+		for _, c := range ix.Cols {
+			if t[c] != first[c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// splitSpan stably regroups a colliding span's rows by their true key and
+// rewrites them back in group order, returning one sub-span per key.
+func (ix *Index) splitSpan(rows []int32, sp span) []span {
+	orig := append([]int32(nil), rows[sp.off:sp.off+sp.n]...)
+	var groups [][]int32
+next:
+	for _, rowID := range orig {
+		t := ix.slab.Row(rowID)
+		for g, grp := range groups {
+			rep := ix.slab.Row(grp[0])
+			same := true
+			for _, c := range ix.Cols {
+				if t[c] != rep[c] {
+					same = false
+					break
+				}
+			}
+			if same {
+				groups[g] = append(grp, rowID)
+				continue next
+			}
+		}
+		groups = append(groups, []int32{rowID})
+	}
+	spans := make([]span, len(groups))
+	off := sp.off
+	for g, grp := range groups {
+		copy(rows[off:], grp)
+		spans[g] = span{off, int32(len(grp))}
+		off += int32(len(grp))
+	}
+	return spans
+}
+
+// --- KeyMap -----------------------------------------------------------
+
+// KeyMap assigns dense ids [0, Len) to the distinct key-column
+// projections of interned tuples. It is the fingerprint analogue of a
+// map[string]T keyed on Tuple.Key: collisions are resolved exactly by
+// comparing materialized key values, and Find (the probe path) allocates
+// nothing. The counting DP of Theorem 4.21 stores its per-separator sums
+// in slices indexed by KeyMap ids.
+type KeyMap struct {
+	cols []int
+	m    map[uint64]int32
+	keys []Tuple // materialized projection per id
+	next []int32 // collision chain: next id with the same fingerprint, or -1
+}
+
+// NewKeyMap creates a KeyMap grouping tuples on the given columns.
+func NewKeyMap(cols []int) *KeyMap {
+	return &KeyMap{cols: append([]int(nil), cols...), m: make(map[uint64]int32)}
+}
+
+// Len returns the number of distinct keys interned so far.
+func (km *KeyMap) Len() int { return len(km.keys) }
+
+// Key returns the materialized projection of id.
+func (km *KeyMap) Key(id int) Tuple { return km.keys[id] }
+
+// Find returns the id of t's projection onto probeCols (aligned with the
+// map's columns), or -1. probeCols may differ from the interning columns;
+// pass km.Cols-aligned columns of the probing tuple.
+func (km *KeyMap) Find(t Tuple, probeCols []int) int {
+	fp := t.KeyHash(probeCols)
+	id, ok := km.m[fp]
+	if !ok {
+		return -1
+	}
+	for {
+		k := km.keys[id]
+		same := true
+		for i := range probeCols {
+			if k[i] != t[probeCols[i]] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return int(id)
+		}
+		if km.next[id] < 0 {
+			return -1
+		}
+		id = km.next[id]
+	}
+}
+
+// Intern returns the id of t's projection onto the map's columns, adding
+// it if new.
+func (km *KeyMap) Intern(t Tuple) int {
+	if id := km.Find(t, km.cols); id >= 0 {
+		return id
+	}
+	key := make(Tuple, len(km.cols))
+	for i, c := range km.cols {
+		key[i] = t[c]
+	}
+	id := int32(len(km.keys))
+	km.keys = append(km.keys, key)
+	km.next = append(km.next, -1)
+	fp := t.KeyHash(km.cols)
+	if first, ok := km.m[fp]; ok {
+		// Walk to the chain tail (collisions are ~nonexistent).
+		at := first
+		for km.next[at] >= 0 {
+			at = km.next[at]
+		}
+		km.next[at] = id
+	} else {
+		km.m[fp] = id
+	}
+	return int(id)
+}

@@ -221,7 +221,8 @@ func runBacktrack(db *database.Database, q *logic.CQ, stopAtFirst bool) ([]datab
 		for i := range pc {
 			pc[i] = i
 		}
-		for _, tup := range ix.LookupTuple(probe, pc) {
+		for _, id := range ix.Lookup(probe, pc) {
+			tup := ix.Row(id)
 			ok := true
 			// Repeated new variables must agree across their occurrences.
 			for col, t := range a.Args {

@@ -62,9 +62,9 @@ func EnumerateEq1(db *database.Database, c *delay.Counter) (delay.Enumerator, er
 	idx := r3.IndexOn([]int{0})
 
 	seen := make(map[string]bool)
-	var cur database.Tuple      // current φ2 answer (a,d,b)
-	var bucket []database.Tuple // R3 tuples (a,c) for the current answer
-	bi := 0                     // cursor into bucket
+	var cur database.Tuple // current φ2 answer (a,d,b)
+	var bucket []int32     // row ids of R3 tuples (a,c) for the current answer
+	bi := 0                // cursor into bucket
 	out := make(database.Tuple, 3)
 
 	emit := func(t database.Tuple) (database.Tuple, bool) {
@@ -82,7 +82,7 @@ func EnumerateEq1(db *database.Database, c *delay.Counter) (delay.Enumerator, er
 			// Drain derived φ1 answers of the current φ2 answer.
 			for cur != nil && bi < len(bucket) {
 				a, b := cur[0], cur[2]
-				cc := bucket[bi][1]
+				cc := idx.Row(bucket[bi])[1]
 				bi++
 				c.Tick(1)
 				out[0], out[1], out[2] = a, b, cc
@@ -96,7 +96,7 @@ func EnumerateEq1(db *database.Database, c *delay.Counter) (delay.Enumerator, er
 				return nil, false
 			}
 			cur = t.Clone()
-			bucket = idx.Lookup(cur[:1].Key([]int{0}))
+			bucket = idx.Lookup(cur, []int{0})
 			bi = 0
 			c.Tick(1)
 			if tt, ok := emit(cur); ok {
