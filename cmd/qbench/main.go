@@ -20,7 +20,6 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,6 +35,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/mso"
 	"repro/internal/ncq"
+	"repro/internal/obs"
 	"repro/internal/prefix"
 	"repro/internal/ucq"
 )
@@ -45,6 +45,7 @@ var (
 	run        = flag.String("run", "", "run a subset of experiments (comma-separated, e.g. E5,E18)")
 	parallel   = flag.Int("parallel", 0, "worker count for the parallel Yannakakis engine (E18); 0 = GOMAXPROCS")
 	jsonOut    = flag.String("json", "", "write a machine-readable report (wall ns, allocs, counted steps) to this file")
+	traceOut   = flag.String("trace", "", "write an observability trace (delay histograms, phase spans) to this file")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 )
@@ -78,6 +79,32 @@ func record(key string, value interface{}) {
 	}
 }
 
+// curObs tracks the observers attached by newCounter during the current
+// experiment; the main loop drains it after the experiment returns, folding
+// each observer's snapshot into the -trace output and its delay quantiles
+// into the -json extras (where cmd/benchgate's p99 gate picks them up).
+var curObs []struct {
+	label string
+	o     *obs.Observer
+}
+
+// newCounter returns the step counter for one instrumented engine run.
+// With -trace or -json an obs.Observer is attached as the counter's sink;
+// otherwise the counter is sink-free and the observability hooks cost one
+// branch (see internal/obs).
+func newCounter(label string) *delay.Counter {
+	c := &delay.Counter{}
+	if *traceOut != "" || *jsonOut != "" {
+		o := obs.New()
+		c.SetSink(o)
+		curObs = append(curObs, struct {
+			label string
+			o     *obs.Observer
+		}{label, o})
+	}
+	return c
+}
+
 func main() {
 	flag.Parse()
 	exps := []experiment{
@@ -101,21 +128,31 @@ func main() {
 		{"E18", "Extension: parallel Yannakakis with sharded hash joins — wall time scales with cores, counted steps do not", e18},
 	}
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		stop, err := obs.StartCPUProfile(*cpuprofile)
 		check(err)
-		check(pprof.StartCPUProfile(f))
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+		defer func() { check(stop()) }()
+	}
+	// Validate -run against the registry: a typo used to silently run
+	// nothing at all, which reads as "everything passed" in CI logs.
+	valid := make(map[string]bool, len(exps))
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		valid[strings.ToUpper(e.id)] = true
+		ids[i] = e.id
 	}
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
-		if id = strings.TrimSpace(id); id != "" {
-			wanted[strings.ToUpper(id)] = true
+		if id = strings.TrimSpace(id); id == "" {
+			continue
 		}
+		if !valid[strings.ToUpper(id)] {
+			fmt.Fprintf(os.Stderr, "qbench: unknown experiment %q; valid ids: %s\n", id, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
+		wanted[strings.ToUpper(id)] = true
 	}
 	var reports []expReport
+	var traces []obs.Trace
 	for _, e := range exps {
 		if len(wanted) > 0 && !wanted[strings.ToUpper(e.id)] {
 			continue
@@ -131,6 +168,17 @@ func main() {
 		wall := time.Since(start)
 		runtime.ReadMemStats(&m1)
 		fmt.Printf("[%s done in %v]\n", e.id, wall.Round(time.Millisecond))
+		for _, to := range curObs {
+			snap := to.o.Snapshot(e.id + "/" + to.label)
+			if *traceOut != "" {
+				traces = append(traces, snap)
+			}
+			if snap.DelaySteps.Count > 0 {
+				record(to.label+"_delay_p99_steps", snap.DelaySteps.P99)
+				record(to.label+"_delay_max_steps", snap.DelaySteps.Max)
+			}
+		}
+		curObs = nil
 		if *jsonOut != "" {
 			rep := expReport{
 				ID: e.id, Title: e.title, WallNS: wall.Nanoseconds(),
@@ -144,11 +192,14 @@ func main() {
 		}
 	}
 	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
+		check(obs.WriteHeapProfile(*memprofile))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
 		check(err)
-		runtime.GC()
-		check(pprof.WriteHeapProfile(f))
-		f.Close()
+		check(obs.WriteTrace(f, traces))
+		check(f.Close())
+		fmt.Printf("\nwrote %s\n", *traceOut)
 	}
 	if *jsonOut != "" {
 		out := struct {
@@ -203,7 +254,7 @@ func e1() {
 		check(err)
 		countTime := time.Since(t0)
 
-		c := &delay.Counter{}
+		c := newCounter(fmt.Sprintf("enum_n%d", n))
 		st, _ := delay.Measure(c, func() delay.Enumerator {
 			e, err := s.Enumerate(q, []string{"x"}, c)
 			check(err)
@@ -287,14 +338,16 @@ func e3() {
 		countTime := time.Since(t0)
 		_ = cnt
 
-		c := &delay.Counter{}
+		c := newCounter(fmt.Sprintf("enum_n%d", n))
 		e, err := mso.Enumerate(tr, setF, c)
 		check(err)
+		c.MarkStart()
 		outputs := 0
 		last := c.Steps()
 		var maxD int64
 		for outputs < 50 {
 			_, ok := e.Next()
+			c.MarkOutput()
 			if !ok {
 				break
 			}
@@ -354,13 +407,13 @@ func e5() {
 		db.AddRelation(a)
 		db.AddRelation(b)
 
-		cc := &delay.Counter{}
+		cc := newCounter(fmt.Sprintf("const_n%d", n))
 		stc, _ := delay.Measure(cc, func() delay.Enumerator {
 			e, err := cq.EnumerateConstantDelay(db, q, cc)
 			check(err)
 			return e
 		})
-		cl := &delay.Counter{}
+		cl := newCounter(fmt.Sprintf("linear_n%d", n))
 		stl, _ := delay.Measure(cl, func() delay.Enumerator {
 			e, err := cq.EnumerateLinearDelay(db, q, cl)
 			check(err)
@@ -479,13 +532,13 @@ func e9() {
 		db.AddRelation(r2)
 		db.AddRelation(r3)
 
-		cg := &delay.Counter{}
+		cg := newCounter(fmt.Sprintf("generic_n%d", n))
 		stg, _ := delay.Measure(cg, func() delay.Enumerator {
 			e, err := ucq.Enumerate(db, u, 2, cg)
 			check(err)
 			return e
 		})
-		ci := &delay.Counter{}
+		ci := newCounter(fmt.Sprintf("interleaved_n%d", n))
 		sti, _ := delay.Measure(ci, func() delay.Enumerator {
 			e, err := ucq.EnumerateEq1(db, ci)
 			check(err)
@@ -565,7 +618,7 @@ func e11() {
 		b.Dedup()
 		db.AddRelation(a)
 		db.AddRelation(b)
-		c := &delay.Counter{}
+		c := newCounter(fmt.Sprintf("neq_n%d", n))
 		st, _ := delay.Measure(c, func() delay.Enumerator {
 			e, err := ineq.EnumerateNeq(db, q, c)
 			check(err)
@@ -724,7 +777,7 @@ func e15() {
 	fmt.Printf("n=10: %d answers, max delta = %d output cells (Thm 5.5: constant)\n", len(answers), maxDelta)
 
 	fmt.Println("\nenum·Σ1 with polynomial delay (flashlight):  ∃x (x∈X ∧ V(x))")
-	c := &delay.Counter{}
+	c := newCounter("sigma1_n8")
 	e1s, err := prefix.EnumerateSigma1(graphs.EdgesToDB(graphs.Cycle(8), 8),
 		mustFormula("exists x. (x in X and V(x))"), c)
 	check(err)
@@ -840,12 +893,12 @@ func e18() {
 	rng := rand.New(rand.NewSource(18))
 	for _, n := range sizes([]int{1 << 14, 1 << 16, 1 << 17}, []int{1 << 12, 1 << 14}) {
 		q, db := treeInstance(rng, 4, n)
-		cs := &delay.Counter{}
+		cs := newCounter(fmt.Sprintf("seq_n%d", n))
 		t0 := time.Now()
 		res, err := cq.EvalCounted(db, q, cs)
 		check(err)
 		seq := time.Since(t0)
-		cp := &delay.Counter{}
+		cp := newCounter(fmt.Sprintf("par_n%d", n))
 		t0 = time.Now()
 		resP, err := cq.ParEval(db, q, *parallel, cp)
 		check(err)

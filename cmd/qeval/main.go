@@ -20,6 +20,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/delay"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,16 +29,43 @@ func main() {
 	task := flag.String("task", "analyze", "analyze | decide | count | enumerate")
 	limit := flag.Int("limit", 0, "stop enumeration after N answers (0 = all)")
 	showDelay := flag.Bool("delay", false, "report measured enumeration delay statistics")
+	traceOut := flag.String("trace", "", "write a machine-readable observability trace (delay histograms, phase spans) to this JSON file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "qeval:", err)
+			}
+		}()
+	}
 
 	if *queryStr == "" {
 		fmt.Fprintln(os.Stderr, "qeval: -query is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// One counter for the whole invocation: the "parse" span lands on it, and
+	// the enumerate task threads it through the engine so the trace captures
+	// tree-build/semijoin-reduce/enumerate spans and the delay histograms.
+	c := &delay.Counter{}
+	var observer *obs.Observer
+	if *traceOut != "" {
+		observer = obs.New()
+		c.SetSink(observer)
+	}
+
 	// A ";" marks a union of conjunctive queries.
 	var q *logic.CQ
 	var u *logic.UCQ
+	pspan := c.StartSpan("parse", -1)
 	if strings.Contains(*queryStr, ";") {
 		var err error
 		u, err = logic.ParseUCQ(*queryStr)
@@ -51,6 +79,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	pspan.End()
 
 	dict := database.NewDictionary()
 	db := database.NewDatabase()
@@ -97,7 +126,6 @@ func main() {
 		}
 		fmt.Println(n)
 	case "enumerate":
-		c := &delay.Counter{}
 		st, answers := delay.Measure(c, func() delay.Enumerator {
 			var e delay.Enumerator
 			var err error
@@ -124,6 +152,27 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown task %q", *task))
+	}
+
+	if observer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		label := fmt.Sprintf("qeval/%s", *task)
+		if err := obs.WriteTrace(f, []obs.Trace{observer.Snapshot(label)}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "qeval: trace written to %s\n", *traceOut)
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fatal(err)
+		}
 	}
 }
 

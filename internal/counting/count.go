@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cq"
 	"repro/internal/database"
+	"repro/internal/delay"
 	"repro/internal/hypergraph"
 	"repro/internal/logic"
 )
@@ -17,6 +18,14 @@ import (
 // in the tree so its weight is multiplied exactly once. The schemas of rels
 // must form an acyclic hypergraph and their union must cover vars.
 func CountFullJoin(rels []cq.Rel, vars []string, w Weight, s Semiring) (interface{}, error) {
+	return CountFullJoinCounted(rels, vars, w, s, nil)
+}
+
+// CountFullJoinCounted is CountFullJoin reporting phase spans ("tree-build"
+// for the GYO run, "semijoin-reduce" for the full reduction, "count" for the
+// DP) through c's sink. The counting pass predates step counting, so c is
+// never ticked: it only carries the observability sink.
+func CountFullJoinCounted(rels []cq.Rel, vars []string, w Weight, s Semiring, c *delay.Counter) (interface{}, error) {
 	if len(rels) == 0 {
 		return nil, fmt.Errorf("counting: no relations")
 	}
@@ -40,12 +49,15 @@ func CountFullJoin(rels []cq.Rel, vars []string, w Weight, s Semiring) (interfac
 			return nil, fmt.Errorf("counting: variable %q not covered by any relation", v)
 		}
 	}
+	tspan := c.StartSpan("tree-build", -1)
 	jt, ok := hypergraph.GYO(h)
+	tspan.End()
 	if !ok {
 		return nil, fmt.Errorf("counting: join not acyclic: %s", schemasOf(rels))
 	}
 	ch := jt.Children()
 	// Full reduce along the tree so the DP never mixes dangling tuples.
+	rspan := c.StartSpan("semijoin-reduce", -1)
 	post := postorderOf(jt)
 	red := make([]cq.Rel, len(rels))
 	copy(red, rels)
@@ -60,6 +72,9 @@ func CountFullJoin(rels []cq.Rel, vars []string, w Weight, s Semiring) (interfac
 			red[c] = semijoinRel(red[c], red[i])
 		}
 	}
+	rspan.End()
+	cspan := c.StartSpan("count", -1)
+	defer cspan.End()
 	// Charge each requested variable to its topmost node (preorder-first).
 	charged := make([][]int, len(rels)) // column indexes charged at node i
 	assigned := make(map[string]bool)
@@ -198,6 +213,12 @@ func schemasOf(rels []cq.Rel) string {
 // acyclic conjunctive query (♯FACQ⁰, Theorem 4.21): q.Head must list all of
 // q's variables.
 func CountQuantifierFree(db *database.Database, q *logic.CQ, w Weight, s Semiring) (interface{}, error) {
+	return CountQuantifierFreeCounted(db, q, w, s, nil)
+}
+
+// CountQuantifierFreeCounted is CountQuantifierFree reporting phase spans
+// through c's sink (see CountFullJoinCounted; c is never ticked).
+func CountQuantifierFreeCounted(db *database.Database, q *logic.CQ, w Weight, s Semiring, c *delay.Counter) (interface{}, error) {
 	if len(q.Head) != len(q.Vars()) {
 		return nil, fmt.Errorf("counting: query %s has projections; use Count", q.Name)
 	}
@@ -205,7 +226,7 @@ func CountQuantifierFree(db *database.Database, q *logic.CQ, w Weight, s Semirin
 	if err != nil {
 		return nil, err
 	}
-	return CountFullJoin(rels, q.Head, w, s)
+	return CountFullJoinCounted(rels, q.Head, w, s, c)
 }
 
 func atomRels(db *database.Database, q *logic.CQ) ([]cq.Rel, error) {
@@ -238,6 +259,14 @@ func atomRels(db *database.Database, q *logic.CQ) ([]cq.Rel, error) {
 // The weight of an answer is the product of its components' weights, so
 // Count generalizes to ♯FACQ.
 func Count(db *database.Database, q *logic.CQ, w Weight, s Semiring) (interface{}, error) {
+	return CountCounted(db, q, w, s, nil)
+}
+
+// CountCounted is Count reporting phase spans through c's sink: one "join"
+// span covering the S-component materialization (step 2, the only step whose
+// cost grows with the quantified star size), then the spans of the final
+// CountFullJoinCounted. c is never ticked (see CountFullJoinCounted).
+func CountCounted(db *database.Database, q *logic.CQ, w Weight, s Semiring, c *delay.Counter) (interface{}, error) {
 	if len(q.NegAtoms) > 0 || len(q.Comparisons) > 0 {
 		return nil, fmt.Errorf("counting: query %s has negation or comparisons", q.Name)
 	}
@@ -278,6 +307,7 @@ func Count(db *database.Database, q *logic.CQ, w Weight, s Semiring) (interface{
 
 	var parts []cq.Rel
 	// Step 2: one materialized relation per S-component.
+	jspan := c.StartSpan("join", -1)
 	for ci, comp := range comps {
 		var atoms []logic.Atom
 		freeVars := make(map[string]bool)
@@ -299,6 +329,7 @@ func Count(db *database.Database, q *logic.CQ, w Weight, s Semiring) (interface{
 		sub := &logic.CQ{Name: fmt.Sprintf("%s_c%d", q.Name, ci), Head: head, Atoms: atoms}
 		tuples, err := cq.Eval(db, sub)
 		if err != nil {
+			jspan.End()
 			return nil, fmt.Errorf("counting: component %d: %w", ci, err)
 		}
 		rel := database.FromTuples(sub.Name, len(head), tuples)
@@ -318,12 +349,14 @@ func Count(db *database.Database, q *logic.CQ, w Weight, s Semiring) (interface{
 		}
 		r, err := cq.AtomRelation(db, a)
 		if err != nil {
+			jspan.End()
 			return nil, err
 		}
 		_ = i
 		parts = append(parts, r)
 	}
-	return CountFullJoin(parts, q.Head, w, s)
+	jspan.End()
+	return CountFullJoinCounted(parts, q.Head, w, s, c)
 }
 
 // atomIndexOf parses the atom index out of a hypergraph edge name

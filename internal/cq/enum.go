@@ -42,10 +42,14 @@ func EnumerateConstantDelay(db *database.Database, q *logic.CQ, c *delay.Counter
 // head node's children relations, whose schemas consist of free variables
 // only and form an acyclic hypergraph. φ(D) is exactly their join.
 func BuildFreeParts(db *database.Database, q *logic.CQ, c *delay.Counter) ([]Rel, error) {
+	bm := c.StartSpan("tree-build", -1)
 	t, err := BuildTree(db, q, true)
+	bm.End()
 	if err != nil {
 		return nil, err
 	}
+	span := c.StartSpan("semijoin-reduce", -1)
+	defer span.End()
 	// Bottom-up elimination pass (step 2).
 	b := make([]Rel, len(t.Rels))
 	for _, i := range t.postord {
@@ -146,6 +150,8 @@ func (o *odometer) row(j, cur int) database.Tuple {
 // parts (schemas forming an acyclic hypergraph), with output columns
 // ordered as head. The parts are full-reduced in place.
 func NewOdometer(head []string, parts []Rel, c *delay.Counter) (*Odometer, error) {
+	span := c.StartSpan("semijoin-reduce", -1)
+	defer span.End()
 	// Join tree of the part schemas.
 	h := hypergraph.New()
 	for i, p := range parts {
@@ -312,7 +318,9 @@ func (o *odometer) emit() database.Tuple {
 // every surviving candidate value extends to at least one answer and the
 // enumeration never backtracks over dead ends.
 func EnumerateLinearDelay(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.Enumerator, error) {
+	bm := c.StartSpan("tree-build", -1)
 	t, err := BuildTree(db, q, false)
+	bm.End()
 	if err != nil {
 		return nil, err
 	}
@@ -327,6 +335,8 @@ func EnumerateLinearDelay(db *database.Database, q *logic.CQ, c *delay.Counter) 
 		return delay.Empty(), nil
 	}
 	e := &linEnum{t: t, head: q.Head, c: c}
+	span := c.StartSpan("semijoin-reduce", -1)
+	defer span.End()
 	base := reduceCopy(t, t.Rels, c)
 	if base == nil {
 		e.exhausted = true

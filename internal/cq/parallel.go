@@ -30,7 +30,8 @@ type parEngine struct {
 	par  int
 	sem  chan struct{}
 	c    *delay.Counter
-	dead atomic.Bool // set when some relation reduced to empty
+	dead atomic.Bool  // set when some relation reduced to empty
+	wid  atomic.Int32 // worker-id allocator for span attribution
 }
 
 // Parallelism returns the effective degree for a requested one: values < 1
@@ -48,8 +49,10 @@ func newParEngine(par int, c *delay.Counter) *parEngine {
 }
 
 // forEach runs n index-addressed tasks, spilling onto extra goroutines as
-// semaphore slots are available and running the remainder inline.
-func (e *parEngine) forEach(n int, f func(k int)) {
+// semaphore slots are available and running the remainder inline. w is the
+// calling worker's id for span attribution: inline tasks inherit it, while
+// each spawned goroutine draws a fresh id from the engine's allocator.
+func (e *parEngine) forEach(n, w int, f func(k, w int)) {
 	if n == 0 {
 		return
 	}
@@ -60,13 +63,13 @@ func (e *parEngine) forEach(n int, f func(k int)) {
 			wg.Add(1)
 			go func(k int) {
 				defer func() { <-e.sem; wg.Done() }()
-				f(k)
+				f(k, int(e.wid.Add(1)))
 			}(k)
 		default:
-			f(k)
+			f(k, w)
 		}
 	}
-	f(0)
+	f(0, w)
 	wg.Wait()
 }
 
@@ -87,19 +90,21 @@ func semijoinPar(a, b Rel, par int) Rel {
 // subtrees first (concurrently), then node i is filtered by each child.
 // If any relation is already empty the join is empty and remaining subtrees
 // are skipped — the parallel analogue of Decide's early exit.
-func (e *parEngine) reduceUp(t *Tree, i int) {
+func (e *parEngine) reduceUp(t *Tree, i, w int) {
 	if e.dead.Load() {
 		return
 	}
 	kids := t.children[i]
-	e.forEach(len(kids), func(k int) { e.reduceUp(t, kids[k]) })
+	e.forEach(len(kids), w, func(k, w int) { e.reduceUp(t, kids[k], w) })
 	if e.dead.Load() {
 		return
 	}
+	span := e.c.StartSpan("semijoin-reduce", w)
 	for _, ch := range kids {
 		t.Rels[i] = semijoinPar(t.Rels[i], t.Rels[ch], e.par)
 		e.c.Tick(int64(t.Rels[i].R.Len()) + 1)
 	}
+	span.End()
 	if t.Rels[i].R.Len() == 0 {
 		e.dead.Store(true)
 	}
@@ -108,13 +113,15 @@ func (e *parEngine) reduceUp(t *Tree, i int) {
 // reduceDown runs the top-down pass under node i: each child is filtered by
 // its parent and then recursively processed; the children are independent
 // and run concurrently.
-func (e *parEngine) reduceDown(t *Tree, i int) {
+func (e *parEngine) reduceDown(t *Tree, i, w int) {
 	kids := t.children[i]
-	e.forEach(len(kids), func(k int) {
+	e.forEach(len(kids), w, func(k, w int) {
 		ch := kids[k]
+		span := e.c.StartSpan("semijoin-reduce", w)
 		t.Rels[ch] = semijoinPar(t.Rels[ch], t.Rels[i], e.par)
 		e.c.Tick(int64(t.Rels[ch].R.Len()) + 1)
-		e.reduceDown(t, ch)
+		span.End()
+		e.reduceDown(t, ch, w)
 	})
 }
 
@@ -128,11 +135,11 @@ func (t *Tree) ParFullReduce(par int, c *delay.Counter) bool {
 		panic("cq: ParFullReduce on a head-extended tree")
 	}
 	e := newParEngine(par, c)
-	e.reduceUp(t, t.JT.Root())
+	e.reduceUp(t, t.JT.Root(), 0)
 	if e.dead.Load() {
 		return false
 	}
-	e.reduceDown(t, t.JT.Root())
+	e.reduceDown(t, t.JT.Root(), 0)
 	for _, r := range t.Rels {
 		if r.R.Len() == 0 {
 			return false
@@ -144,22 +151,26 @@ func (t *Tree) ParFullReduce(par int, c *delay.Counter) bool {
 // ParDecide is Decide (Theorem 4.2 for sentences) with the bottom-up pass
 // parallelized over sibling subtrees; par < 1 means GOMAXPROCS.
 func ParDecide(db *database.Database, q *logic.CQ, par int, c *delay.Counter) (bool, error) {
+	bm := c.StartSpan("tree-build", -1)
 	t, err := buildTree(db, q, false, par)
+	bm.End()
 	if err != nil {
 		return false, err
 	}
 	e := newParEngine(par, c)
-	e.reduceUp(t, t.JT.Root())
+	e.reduceUp(t, t.JT.Root(), 0)
 	return !e.dead.Load(), nil
 }
 
 // evalUp runs Eval's bottom-up join pass over subtree i, sibling subtrees
 // concurrently. acc[i] is written only by the task owning subtree i and
 // read only by its parent, after the subtree task completed.
-func (e *parEngine) evalUp(t *Tree, i int, head map[string]bool, acc []Rel) {
+func (e *parEngine) evalUp(t *Tree, i, w int, head map[string]bool, acc []Rel) {
 	kids := t.children[i]
-	e.forEach(len(kids), func(k int) { e.evalUp(t, kids[k], head, acc) })
+	e.forEach(len(kids), w, func(k, w int) { e.evalUp(t, kids[k], w, head, acc) })
+	span := e.c.StartSpan("join", w)
 	acc[i] = t.evalNode(i, head, acc, e.c)
+	span.End()
 }
 
 // ParEval is Eval (the Yannakakis algorithm, Theorem 4.2) with the full
@@ -169,7 +180,9 @@ func (e *parEngine) evalUp(t *Tree, i int, head map[string]bool, acc []Rel) {
 // the sequential engine's on nonempty joins: parallelism changes wall
 // time, not counted work.
 func ParEval(db *database.Database, q *logic.CQ, par int, c *delay.Counter) ([]database.Tuple, error) {
+	bm := c.StartSpan("tree-build", -1)
 	t, err := buildTree(db, q, false, par)
+	bm.End()
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +192,7 @@ func ParEval(db *database.Database, q *logic.CQ, par int, c *delay.Counter) ([]d
 	e := newParEngine(par, c)
 	head := headSet(q)
 	acc := make([]Rel, len(t.Rels))
-	e.evalUp(t, t.JT.Root(), head, acc)
+	e.evalUp(t, t.JT.Root(), 0, head, acc)
 	root := acc[t.JT.Root()]
 	out := project(root, q.Head)
 	out.R.Dedup()

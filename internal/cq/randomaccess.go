@@ -105,17 +105,26 @@ func (b *bucket) find(x *big.Int) (int, *big.Int) {
 // NewRandomAccess builds the access structure for a free-connex acyclic
 // conjunctive query.
 func NewRandomAccess(db *database.Database, q *logic.CQ) (*RandomAccess, error) {
-	parts, err := BuildFreeParts(db, q, nil)
+	return NewRandomAccessCounted(db, q, nil)
+}
+
+// NewRandomAccessCounted is NewRandomAccess reporting phase spans through
+// c's sink (the construction predates step counting, so the internal passes
+// tick nothing; the spans carry wall time only).
+func NewRandomAccessCounted(db *database.Database, q *logic.CQ, c *delay.Counter) (*RandomAccess, error) {
+	parts, err := BuildFreeParts(db, q, c)
 	if err != nil {
 		return nil, err
 	}
 	// Join tree over the part schemas, plus full reduction.
+	rspan := c.StartSpan("semijoin-reduce", -1)
 	h := hypergraph.New()
 	for i, p := range parts {
 		h.AddEdge(hypergraph.NewEdge(fmt.Sprintf("V%d", i), p.Schema...))
 	}
 	jt, ok := hypergraph.GYO(h)
 	if !ok {
+		rspan.End()
 		return nil, fmt.Errorf("cq: internal: free parts not acyclic")
 	}
 	ch := jt.Children()
@@ -131,6 +140,9 @@ func NewRandomAccess(db *database.Database, q *logic.CQ) (*RandomAccess, error) 
 			parts[c] = semijoin(parts[c], parts[i])
 		}
 	}
+	rspan.End()
+	cspan := c.StartSpan("count", -1)
+	defer cspan.End()
 	ra := &RandomAccess{head: q.Head, rels: parts, tree: jt}
 	ra.weight = make([][]*big.Int, len(parts))
 	ra.buckets = make([]map[uint64]*bucket, len(parts))

@@ -58,7 +58,7 @@ func buildTree(db *database.Database, q *logic.CQ, withHead bool, par int) (*Tre
 	t.Rels = make([]Rel, len(jt.Nodes))
 	errs := make([]error, len(jt.Nodes))
 	e := newParEngine(par, nil)
-	e.forEach(len(jt.Nodes), func(i int) {
+	e.forEach(len(jt.Nodes), 0, func(i, _ int) {
 		if i == headIdx {
 			return
 		}
@@ -110,6 +110,8 @@ func (t *Tree) FullReduceCounted(c *delay.Counter) bool {
 	if t.HeadIdx >= 0 {
 		panic("cq: FullReduce on a head-extended tree")
 	}
+	span := c.StartSpan("semijoin-reduce", -1)
+	defer span.End()
 	// Bottom-up.
 	for _, i := range t.postord {
 		for _, ch := range t.children[i] {
@@ -142,10 +144,14 @@ func Decide(db *database.Database, q *logic.CQ) (bool, error) {
 
 // DecideCounted is Decide with step counting (see FullReduceCounted).
 func DecideCounted(db *database.Database, q *logic.CQ, c *delay.Counter) (bool, error) {
+	bm := c.StartSpan("tree-build", -1)
 	t, err := BuildTree(db, q, false)
+	bm.End()
 	if err != nil {
 		return false, err
 	}
+	span := c.StartSpan("semijoin-reduce", -1)
+	defer span.End()
 	for _, i := range t.postord {
 		for _, ch := range t.children[i] {
 			t.Rels[i] = semijoin(t.Rels[i], t.Rels[ch])
@@ -173,13 +179,17 @@ func Eval(db *database.Database, q *logic.CQ) ([]database.Tuple, error) {
 // same points, so counted steps compare the total work of the two engines
 // independently of scheduling.
 func EvalCounted(db *database.Database, q *logic.CQ, c *delay.Counter) ([]database.Tuple, error) {
+	bm := c.StartSpan("tree-build", -1)
 	t, err := BuildTree(db, q, false)
+	bm.End()
 	if err != nil {
 		return nil, err
 	}
 	if !t.FullReduceCounted(c) {
 		return nil, nil
 	}
+	span := c.StartSpan("join", -1)
+	defer span.End()
 	head := headSet(q)
 	// acc[i] = join of subtree(i) projected onto subtree head vars ∪ sep to
 	// parent.

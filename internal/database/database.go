@@ -11,11 +11,19 @@ package database
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 )
+
+// maxRows caps a relation's tuple count so that row ids always fit in the
+// int32 used by slab rows, index buckets, and KeyMap ids; beyond it the
+// conversions in the index layer would silently truncate. It is a variable
+// (not a const) only so the guard-path tests can lower it instead of
+// allocating 2^31 rows.
+var maxRows = math.MaxInt32
 
 // Value is a domain element. The linear order on the domain required by the
 // RAM model of Section 2.3.1 is the natural order on Value.
@@ -143,6 +151,9 @@ func FromTuples(name string, arity int, rows []Tuple) *Relation {
 func (r *Relation) TryInsert(t Tuple) error {
 	if len(t) != r.Arity {
 		return fmt.Errorf("database: relation %s has arity %d, got tuple of length %d", r.Name, r.Arity, len(t))
+	}
+	if len(r.Tuples) >= maxRows {
+		return fmt.Errorf("database: relation %s is full: row ids are int32, max %d rows", r.Name, maxRows)
 	}
 	r.Tuples = append(r.Tuples, t)
 	r.invalidateIndexes()

@@ -13,6 +13,7 @@ package database
 // the probe free of allocation is what makes the constant factor small.
 
 import (
+	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -51,10 +52,17 @@ func (r *Relation) Slab() Slab {
 	return r.slabLocked()
 }
 
-// slabLocked is Slab with r.mu already held.
+// slabLocked is Slab with r.mu already held. Relations grown past the int32
+// row-id range fail loudly here — the choke point of every slab and index
+// build — instead of letting the int32 conversions truncate: the internal
+// relational operations (Project, Join, ...) append to Tuples directly, so
+// the TryInsert guard alone cannot bound them.
 func (r *Relation) slabLocked() Slab {
 	if p := r.slabPtr.Load(); p != nil {
 		return *p
+	}
+	if len(r.Tuples) > maxRows {
+		panic(fmt.Sprintf("database: relation %s has %d rows; row ids are int32, max %d", r.Name, len(r.Tuples), maxRows))
 	}
 	s := Slab{arity: r.Arity, data: make([]Value, len(r.Tuples)*r.Arity)}
 	for i, t := range r.Tuples {

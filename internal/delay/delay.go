@@ -70,13 +70,119 @@ func Collect(e Enumerator) []database.Tuple {
 	}
 }
 
+// Sink receives observability events from an instrumented run: per-output
+// enumeration delays and completed phase spans. internal/obs provides the
+// standard implementation (log-bucketed histograms plus a span timeline);
+// the indirection keeps this package dependency-free. Implementations must
+// be goroutine-safe: the parallel engines report spans from many workers.
+type Sink interface {
+	// ObserveDelay records the gap between two consecutive enumeration
+	// emissions, in counted RAM steps and wall nanoseconds.
+	ObserveDelay(steps, wallNS int64)
+	// ObserveSpan records a completed phase span (parse, tree-build,
+	// semijoin-reduce, enumerate, count, join) with the counter values and
+	// wall clock at its boundaries. worker is the reporting worker of a
+	// parallel engine, or -1 for single-threaded phases.
+	ObserveSpan(phase string, worker int, startSteps, endSteps int64, start, end time.Time)
+}
+
 // Counter counts elementary RAM steps. Engines call Tick at each elementary
 // operation (index probe, cursor advance, comparison). A nil Counter is
 // valid and counts nothing, so instrumentation is zero-cost to disable.
 // Tick and Steps are goroutine-safe, so one counter may be shared by the
 // workers of a parallel engine: the counted total is the paper's sequential
 // work bound regardless of how the work is spread over cores.
-type Counter struct{ steps atomic.Int64 }
+//
+// A Counter optionally carries a Sink. The sink never affects the counted
+// steps — observation hooks (MarkOutput, StartSpan) read the counter but
+// never Tick it — and with a nil counter or nil sink every hook is a
+// branch-and-return: the disabled path costs no allocation and no clock
+// read (pinned by the allocation tests in internal/obs).
+type Counter struct {
+	steps atomic.Int64
+
+	// sink is set once by SetSink before the counter is shared; lastSteps
+	// and lastNS belong to the single goroutine draining an enumerator.
+	sink      Sink
+	lastSteps int64
+	lastNS    int64
+}
+
+// SetSink attaches an observability sink. It must be called before the
+// counter is shared with other goroutines (engines never mutate the sink).
+// A nil sink detaches.
+func (c *Counter) SetSink(s Sink) {
+	if c != nil {
+		c.sink = s
+	}
+}
+
+// Sink returns the attached sink, or nil.
+func (c *Counter) Sink() Sink {
+	if c == nil {
+		return nil
+	}
+	return c.sink
+}
+
+// MarkStart begins a delay measurement sequence: the next MarkOutput
+// reports the gap from this point. Call it when preprocessing hands over
+// the enumerator. No-op without a sink.
+func (c *Counter) MarkStart() {
+	if c == nil || c.sink == nil {
+		return
+	}
+	c.lastSteps = c.steps.Load()
+	c.lastNS = time.Now().UnixNano()
+}
+
+// MarkOutput records one enumeration emission boundary: the counted steps
+// and wall nanoseconds since the previous mark are forwarded to the sink
+// and the mark advances. Call it after every Next — including the final,
+// exhausted one, so the last gap (output to exhaustion) is observed like
+// the Stats.MaxDelay* fields. No-op without a sink.
+func (c *Counter) MarkOutput() {
+	if c == nil || c.sink == nil {
+		return
+	}
+	s := c.steps.Load()
+	now := time.Now().UnixNano()
+	c.sink.ObserveDelay(s-c.lastSteps, now-c.lastNS)
+	c.lastSteps, c.lastNS = s, now
+}
+
+// SpanMark is an open phase span returned by StartSpan; End closes it and
+// reports it to the sink. The zero SpanMark (returned when observability is
+// disabled) is valid and End on it is a no-op, so the calling convention is
+// unconditional:
+//
+//	m := c.StartSpan("semijoin-reduce", worker)
+//	... phase work ...
+//	m.End()
+type SpanMark struct {
+	c      *Counter
+	phase  string
+	worker int
+	steps  int64
+	start  time.Time
+}
+
+// StartSpan opens a phase span. With a nil counter or no sink it returns
+// the zero SpanMark without reading the clock.
+func (c *Counter) StartSpan(phase string, worker int) SpanMark {
+	if c == nil || c.sink == nil {
+		return SpanMark{}
+	}
+	return SpanMark{c: c, phase: phase, worker: worker, steps: c.steps.Load(), start: time.Now()}
+}
+
+// End closes the span and reports it.
+func (m SpanMark) End() {
+	if m.c == nil || m.c.sink == nil {
+		return
+	}
+	m.c.sink.ObserveSpan(m.phase, m.worker, m.steps, m.c.steps.Load(), m.start, time.Now())
+}
 
 // Tick records n elementary steps.
 func (c *Counter) Tick(n int64) {
@@ -114,6 +220,12 @@ type Stats struct {
 // The counter need not be fresh: Measure snapshots it at entry and reports
 // only the steps recorded during this run, so a counter may be reused
 // across measurements.
+//
+// When the counter carries a Sink, Measure additionally feeds it every
+// per-output delay (the same gaps that MaxDelaySteps/MaxDelayTime maximize
+// over, including the final output-to-exhaustion gap) and one "enumerate"
+// phase span covering the drain. The sink observes, never ticks: counted
+// steps are bit-identical with and without it.
 func Measure(c *Counter, build func() Enumerator) (Stats, []database.Tuple) {
 	var s Stats
 	base := c.Steps()
@@ -123,10 +235,13 @@ func Measure(c *Counter, build func() Enumerator) (Stats, []database.Tuple) {
 	s.PreprocessTime = time.Since(t0)
 
 	var out []database.Tuple
+	c.MarkStart()
+	span := c.StartSpan("enumerate", -1)
 	last := c.Steps()
 	lastT := time.Now()
 	for {
 		t, ok := e.Next()
+		c.MarkOutput()
 		now := c.Steps()
 		nowT := time.Now()
 		d := now - last
@@ -143,6 +258,7 @@ func Measure(c *Counter, build func() Enumerator) (Stats, []database.Tuple) {
 		s.Outputs++
 		out = append(out, t.Clone())
 	}
+	span.End()
 	s.TotalSteps = c.Steps() - base - s.PreprocessSteps
 	s.TotalTime = time.Since(t0) - s.PreprocessTime
 	return s, out

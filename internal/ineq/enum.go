@@ -54,7 +54,9 @@ func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.E
 		}
 	}
 	plain := &logic.CQ{Name: q.Name, Head: q.Head, Atoms: q.Atoms}
+	bspan := c.StartSpan("tree-build", -1)
 	t, err := cq.BuildTree(db, plain, true)
+	bspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +120,7 @@ func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.E
 	}
 
 	// Linear-time filters on the atom relations.
+	rspan := c.StartSpan("semijoin-reduce", -1)
 	for i := range q.Atoms {
 		r := t.Rels[i]
 		var checks []func(database.Tuple) bool
@@ -232,6 +235,7 @@ func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.E
 		parts = append(parts, pt)
 		freeRels = append(freeRels, fr)
 	}
+	rspan.End()
 
 	od, err := cq.NewOdometer(q.Head, freeRels, c)
 	if err != nil {

@@ -59,7 +59,9 @@ func EnumerateEq1(db *database.Database, c *delay.Counter) (delay.Enumerator, er
 	if r3 == nil {
 		return nil, fmt.Errorf("ucq: missing relation R3")
 	}
+	ispan := c.StartSpan("index-build", -1)
 	idx := r3.IndexOn([]int{0})
+	ispan.End()
 
 	seen := make(map[string]bool)
 	var cur database.Tuple // current φ2 answer (a,d,b)

@@ -1,0 +1,128 @@
+package repro
+
+// Golden observability test: the delay histogram of internal/obs, attached
+// to E1's enumerator, must certify the constant-delay bound of Theorem 3.2
+// in counted RAM steps — not just the max-delay spot value that
+// delay.Stats already reports, but the whole distribution.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/delay"
+	"repro/internal/fodeg"
+	"repro/internal/logic/logictest"
+	"repro/internal/obs"
+)
+
+// e1MaxDelaySteps is the golden constant-delay bound for E1's enumerator on
+// the cycle-graph instance: the bounded-degree enumeration of Theorem 3.2
+// spends at most this many counted steps between consecutive emissions,
+// independent of n. The value is pinned (not just "O(1)") so that any
+// engine change that grows the per-output work trips this test the same
+// way cmd/benchgate's p99 gate trips in CI.
+const e1MaxDelaySteps = 5
+
+func TestGoldenE1DelayHistogram(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 14} {
+		s := boundedDegreeStructure(n)
+		p, _ := s.PredID("P")
+		q := fodeg.Ex{Var: "y", F: fodeg.Conj{Fs: []fodeg.Formula{
+			edgeFormula(s, "x", "y"), fodeg.Pr{Pred: p, T: fodeg.V("y")},
+		}}}
+
+		o := obs.New()
+		c := &delay.Counter{}
+		c.SetSink(o)
+		st, answers := delay.Measure(c, func() delay.Enumerator {
+			e, err := s.Enumerate(q, []string{"x"}, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		})
+		if len(answers) == 0 {
+			t.Fatalf("n=%d: E1 instance produced no answers", n)
+		}
+
+		// The histogram observes every emission gap: one per answer plus the
+		// final output-to-exhaustion gap.
+		if got, want := o.DelaySteps.Count(), int64(st.Outputs+1); got != want {
+			t.Errorf("n=%d: histogram observed %d gaps, want %d (outputs+exhaustion)", n, got, want)
+		}
+		// The histogram's max is the same quantity Stats maximizes over.
+		if o.DelaySteps.Max() != st.MaxDelaySteps {
+			t.Errorf("n=%d: histogram max %d != Stats.MaxDelaySteps %d",
+				n, o.DelaySteps.Max(), st.MaxDelaySteps)
+		}
+		// The golden bound, on the whole distribution: p100, not a spot check.
+		if got := o.DelaySteps.Max(); got > e1MaxDelaySteps {
+			t.Errorf("n=%d: max enumeration delay %d counted steps > golden bound %d",
+				n, got, e1MaxDelaySteps)
+		}
+		if p99 := o.DelaySteps.Quantile(0.99); p99 > e1MaxDelaySteps {
+			t.Errorf("n=%d: p99 delay %d counted steps > golden bound %d", n, p99, e1MaxDelaySteps)
+		}
+	}
+}
+
+// TestGoldenE1DelayIndependentOfN pins constancy itself: the worst counted
+// delay must not grow with the instance, which is the difference between
+// constant delay and "small on the one size we looked at".
+func TestGoldenE1DelayIndependentOfN(t *testing.T) {
+	maxAt := func(n int) int64 {
+		s := boundedDegreeStructure(n)
+		p, _ := s.PredID("P")
+		q := fodeg.Ex{Var: "y", F: fodeg.Conj{Fs: []fodeg.Formula{
+			edgeFormula(s, "x", "y"), fodeg.Pr{Pred: p, T: fodeg.V("y")},
+		}}}
+		o := obs.New()
+		c := &delay.Counter{}
+		c.SetSink(o)
+		delay.Measure(c, func() delay.Enumerator {
+			e, err := s.Enumerate(q, []string{"x"}, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		})
+		return o.DelaySteps.Max()
+	}
+	small, large := maxAt(1<<8), maxAt(1<<15)
+	if large > small {
+		t.Errorf("max delay grew with n: %d steps at n=2^8, %d at n=2^15", small, large)
+	}
+}
+
+// TestE5TraceSnapshotPhases: the trace emitted for a CQ enumeration names
+// the pipeline phases of the paper (preprocessing split into tree building
+// and semijoin reduction, then enumeration), so a reader of `qbench -trace`
+// output can attribute wall time to them.
+func TestE5TraceSnapshotPhases(t *testing.T) {
+	db := e5DB(1 << 10)
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	o := obs.New()
+	c := &delay.Counter{}
+	c.SetSink(o)
+	delay.Measure(c, func() delay.Enumerator {
+		e, err := cq.EnumerateConstantDelay(db, q, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	})
+	tr := o.Snapshot("E5")
+	got := map[string]bool{}
+	for _, ph := range tr.Phases {
+		got[ph.Phase] = true
+	}
+	for _, want := range []string{"tree-build", "semijoin-reduce", "enumerate"} {
+		if !got[want] {
+			t.Errorf("trace is missing phase %q; phases: %v", want, fmt.Sprint(tr.Phases))
+		}
+	}
+	if tr.DelaySteps.Count == 0 {
+		t.Error("trace has an empty delay histogram")
+	}
+}
