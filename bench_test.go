@@ -27,6 +27,7 @@ import (
 	"repro/internal/logic/logictest"
 	"repro/internal/mso"
 	"repro/internal/ncq"
+	"repro/internal/plan"
 	"repro/internal/prefix"
 	"repro/internal/ucq"
 )
@@ -635,6 +636,69 @@ func BenchmarkParYannakakisFullReduce(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---- Plan cache: Compile → Bind → Execute amortization (E19) ----
+
+// BenchmarkPlanCacheBind pins the pipeline's warm-path contract. A cold
+// bind pays classification, join-tree construction, semijoin reduction and
+// index building; a warm cache probe is a fingerprint fold, two map
+// lookups and a generation check — 0 allocs/op, gated at 0% tolerance by
+// cmd/benchgate in CI. Warm+execute adds a fresh constant-delay cursor
+// walk so the end-to-end repeated-query cost is visible next to the cold
+// path it replaces.
+func BenchmarkPlanCacheBind(b *testing.B) {
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	db := e5DB(1 << 14)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := plan.Compile(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Bind(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := plan.NewCache()
+		if _, err := cache.Prepare(q, db); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pr, err := cache.Prepare(q, db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ok, err := pr.Decide(nil)
+			if err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	b.Run("warm+execute", func(b *testing.B) {
+		cache := plan.NewCache()
+		if _, err := cache.Prepare(q, db); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pr, err := cache.Prepare(q, db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := pr.Enumerate(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			delay.Collect(e)
+		}
+	})
 }
 
 // ---- Ablations for DESIGN.md's called-out design choices ----

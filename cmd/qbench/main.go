@@ -1,4 +1,4 @@
-// Command qbench regenerates every experiment of DESIGN.md (E1–E18),
+// Command qbench regenerates every experiment of DESIGN.md (E1–E19),
 // printing one paper-style table per experiment. Each experiment validates
 // the *shape* of a complexity bound stated in the paper — linear scaling,
 // constant vs linear delay, the n^k star-size sweep, the
@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/boolmat"
+	"repro/internal/core"
 	"repro/internal/counting"
 	"repro/internal/cq"
 	"repro/internal/database"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/mso"
 	"repro/internal/ncq"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/prefix"
 	"repro/internal/ucq"
 )
@@ -44,6 +46,7 @@ var (
 	quick      = flag.Bool("quick", false, "smaller instance sizes")
 	run        = flag.String("run", "", "run a subset of experiments (comma-separated, e.g. E5,E18)")
 	parallel   = flag.Int("parallel", 0, "worker count for the parallel Yannakakis engine (E18); 0 = GOMAXPROCS")
+	repeat     = flag.Int("repeat", 8, "executions per query in the plan-cache amortization experiment (E19)")
 	jsonOut    = flag.String("json", "", "write a machine-readable report (wall ns, allocs, counted steps) to this file")
 	traceOut   = flag.String("trace", "", "write an observability trace (delay histograms, phase spans) to this file")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -126,6 +129,7 @@ func main() {
 		{"E16", "Generic FO evaluation baseline: ‖φ‖·‖D‖^h (Section 3 preamble)", e16},
 		{"E17", "Extension: random access and random-order enumeration for free-connex ACQs ([23], §4.3)", e17},
 		{"E18", "Extension: parallel Yannakakis with sharded hash joins — wall time scales with cores, counted steps do not", e18},
+		{"E19", "Extension: Compile → Bind → Execute amortization — bind once, execute N times through the plan cache", e19},
 	}
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
@@ -917,6 +921,107 @@ func e18() {
 	}
 	fmt.Println("shape: speedup tracks the worker count while stepRatio stays 1.000 —")
 	fmt.Println("parallelism changes wall time, never the counted O(‖φ‖·‖D‖·‖φ(D)‖) work.")
+}
+
+// ---------------------------------------------------------------- E19
+
+func e19() {
+	reps := *repeat
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Printf("free-connex Q(x,y) :- A(x,y), B(y,z): %d enumerations, one-shot vs plan cache\n", reps)
+	fmt.Printf("(one-shot pays classification + join tree + semijoin reduction + index build on\n")
+	fmt.Printf("every run; the cached plan pays them once in Bind and then only walks cursors)\n")
+	fmt.Printf("%-8s %-10s %-14s %-14s %-9s %-14s\n",
+		"n", "answers", "oneshot(all)", "cached(all)", "speedup", "warmExec(avg)")
+	q := mustCQ("Q(x,y) :- A(x,y), B(y,z).")
+	cache := plan.NewCache()
+	for _, n := range sizes([]int{1 << 12, 1 << 14, 1 << 16}, []int{1 << 10, 1 << 12}) {
+		db := database.NewDatabase()
+		a := database.NewRelation("A", 2)
+		b := database.NewRelation("B", 2)
+		for i := 0; i < n; i++ {
+			a.InsertValues(database.Value(i), database.Value(i%199))
+			b.InsertValues(database.Value(i%199), database.Value(i%61))
+		}
+		a.Dedup()
+		b.Dedup()
+		db.AddRelation(a)
+		db.AddRelation(b)
+
+		// One-shot: every iteration re-runs the full Compile → Bind →
+		// Execute chain, like the historical core.Enumerate facade.
+		co := newCounter(fmt.Sprintf("oneshot_n%d", n))
+		t0 := time.Now()
+		var answers int
+		for i := 0; i < reps; i++ {
+			e, err := core.Enumerate(db, q, co)
+			check(err)
+			answers = drainEnum(e, co)
+		}
+		oneshot := time.Since(t0)
+
+		// Cached: the first Prepare compiles and binds; every further
+		// iteration is a warm probe plus a fresh cursor over the bound spine.
+		cw := newCounter(fmt.Sprintf("cached_n%d", n))
+		t0 = time.Now()
+		var warmAnswers int
+		for i := 0; i < reps; i++ {
+			pr, err := cache.PrepareCounted(q, db, cw)
+			check(err)
+			e, err := pr.Enumerate(cw)
+			check(err)
+			warmAnswers = drainEnum(e, cw)
+		}
+		cached := time.Since(t0)
+		if warmAnswers != answers {
+			log.Fatalf("E19: cached plan disagrees: %d vs %d answers", warmAnswers, answers)
+		}
+
+		// Average wall time of one warm execution, measured separately so the
+		// cold Bind in the loop above does not pollute the number.
+		t0 = time.Now()
+		warmRuns := 16
+		for i := 0; i < warmRuns; i++ {
+			pr, err := cache.Prepare(q, db)
+			check(err)
+			e, err := pr.Enumerate(nil)
+			check(err)
+			drainEnum(e, nil)
+		}
+		warmExec := time.Since(t0) / time.Duration(warmRuns)
+
+		fmt.Printf("%-8d %-10d %-14v %-14v %-9.2f %-14v\n", n, answers,
+			oneshot.Round(time.Microsecond), cached.Round(time.Microsecond),
+			float64(oneshot)/float64(cached), warmExec.Round(time.Microsecond))
+		record(fmt.Sprintf("n%d_oneshot_ns", n), oneshot.Nanoseconds())
+		record(fmt.Sprintf("n%d_cached_ns", n), cached.Nanoseconds())
+		record(fmt.Sprintf("n%d_warm_exec_ns", n), warmExec.Nanoseconds())
+	}
+	hits, misses := cache.Stats()
+	fmt.Printf("plan cache: %d hits, %d misses (one cold bind per database)\n", hits, misses)
+	record("cache_hits", hits)
+	record("cache_misses", misses)
+	fmt.Println("shape: speedup approaches the preprocess/execute time ratio as N grows — the")
+	fmt.Println("bind work (join tree, reduction, indexes) is amortized across executions while")
+	fmt.Println("each execution keeps the engine's delay guarantee.")
+}
+
+// drainEnum exhausts e, returning the number of answers; with a counter the
+// outputs are marked so delay histograms stay meaningful under -trace.
+func drainEnum(e delay.Enumerator, c *delay.Counter) int {
+	n := 0
+	for {
+		_, ok := e.Next()
+		if c != nil {
+			c.MarkOutput()
+		}
+		if !ok {
+			return n
+		}
+		n++
+	}
 }
 
 func check(err error) {

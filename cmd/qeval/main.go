@@ -1,16 +1,18 @@
-// Command qeval evaluates conjunctive queries over fact files using the
-// engines of the library, choosing the algorithm by the paper's
+// Command qeval evaluates conjunctive queries over fact files through the
+// Compile → Bind → Execute pipeline, choosing the algorithm by the paper's
 // classification (acyclicity, free-connexity, star size, β-acyclicity).
 //
 // Usage:
 //
 //	qeval -data facts.txt -query 'Q(x,y) :- friend(x,z), friend(z,y).' -task enumerate -limit 10
-//	qeval -query '...' -task analyze
+//	qeval -query '...' -task analyze -format json
 //
-// Tasks: analyze (default), decide, count, enumerate.
+// Tasks: analyze (default), decide, count, enumerate. A ";" in the query
+// marks a union of conjunctive queries; every task accepts unions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +23,14 @@ import (
 	"repro/internal/delay"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 func main() {
 	dataPath := flag.String("data", "", "fact file (one pred(args...) per line); empty for an empty database")
 	queryStr := flag.String("query", "", "conjunctive query in rule syntax")
 	task := flag.String("task", "analyze", "analyze | decide | count | enumerate")
+	format := flag.String("format", "text", "analyze output format: text | json (the compiled plan)")
 	limit := flag.Int("limit", 0, "stop enumeration after N answers (0 = all)")
 	showDelay := flag.Bool("delay", false, "report measured enumeration delay statistics")
 	traceOut := flag.String("trace", "", "write a machine-readable observability trace (delay histograms, phase spans) to this JSON file")
@@ -97,43 +101,52 @@ func main() {
 
 	switch *task {
 	case "analyze":
-		if u != nil {
-			for i, d := range u.Disjuncts {
-				fmt.Printf("--- disjunct %d ---\n%s", i+1, core.Analyze(d))
+		switch *format {
+		case "text":
+			if u != nil {
+				for i, d := range u.Disjuncts {
+					fmt.Printf("--- disjunct %d ---\n%s", i+1, core.Analyze(d))
+				}
+			} else {
+				fmt.Print(core.Analyze(q))
 			}
-		} else {
-			fmt.Print(core.Analyze(q))
+		case "json":
+			p := compilePlan(c, q, u)
+			out, err := json.MarshalIndent(p, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s\n", out)
+		default:
+			fatal(fmt.Errorf("unknown format %q (want text or json)", *format))
 		}
 	case "decide":
-		if u != nil {
-			fatal(fmt.Errorf("decide is per-query; count or enumerate the union instead"))
+		// The decision problem concerns the head-stripped query; a union
+		// decides true iff some disjunct does (short-circuiting).
+		if q != nil {
+			q = &logic.CQ{Name: q.Name, Atoms: q.Atoms, NegAtoms: q.NegAtoms, Comparisons: q.Comparisons}
 		}
-		ok, err := core.Decide(db, q)
+		pr := bindPlan(c, db, compilePlan(c, q, u))
+		espan := c.StartSpan("execute", -1)
+		ok, err := pr.Decide(c)
+		espan.End()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(ok)
 	case "count":
-		var n fmt.Stringer
-		var err error
-		if u != nil {
-			n, err = core.CountUCQ(db, u)
-		} else {
-			n, err = core.Count(db, q)
-		}
+		pr := bindPlan(c, db, compilePlan(c, q, u))
+		espan := c.StartSpan("execute", -1)
+		n, err := pr.Count(c)
+		espan.End()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(n)
 	case "enumerate":
 		st, answers := delay.Measure(c, func() delay.Enumerator {
-			var e delay.Enumerator
-			var err error
-			if u != nil {
-				e, err = core.EnumerateUCQ(db, u, c)
-			} else {
-				e, err = core.Enumerate(db, q, c)
-			}
+			pr := bindPlan(c, db, compilePlan(c, q, u))
+			e, err := pr.Enumerate(c)
 			if err != nil {
 				fatal(err)
 			}
@@ -174,6 +187,32 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// compilePlan compiles whichever of q/u is set under a "compile" span.
+func compilePlan(c *delay.Counter, q *logic.CQ, u *logic.UCQ) *plan.Plan {
+	span := c.StartSpan("compile", -1)
+	defer span.End()
+	var p *plan.Plan
+	var err error
+	if u != nil {
+		p, err = plan.CompileUCQ(u)
+	} else {
+		p, err = plan.Compile(q)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return p
+}
+
+// bindPlan binds p to db; BindCounted opens the "bind" span itself.
+func bindPlan(c *delay.Counter, db *database.Database, p *plan.Plan) *plan.Prepared {
+	pr, err := p.BindCounted(db, c)
+	if err != nil {
+		fatal(err)
+	}
+	return pr
 }
 
 func fatal(err error) {

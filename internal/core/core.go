@@ -17,259 +17,120 @@
 //     (Theorem 4.31, assuming Triangle);
 //   - order comparisons (<, ≤) put even acyclic queries at W[1]-hardness
 //     (Theorem 4.15).
+//
+// Since the introduction of the Compile → Bind → Execute pipeline the
+// classifier and the dispatch live in internal/plan; the one-shot
+// functions here are thin wrappers — each call compiles, binds, and
+// executes once. Callers that repeat a (query, database) pair should use
+// the pipeline (or a plan.Cache) directly and pay the preprocessing once.
 package core
 
 import (
-	"fmt"
 	"math/big"
-	"strings"
 
-	"repro/internal/counting"
-	"repro/internal/cq"
 	"repro/internal/database"
 	"repro/internal/delay"
-	"repro/internal/hypergraph"
-	"repro/internal/ineq"
 	"repro/internal/logic"
-	"repro/internal/ncq"
-	"repro/internal/ucq"
+	"repro/internal/plan"
 )
 
-// Report is the tractability classification of a conjunctive query.
-type Report struct {
-	Query        *logic.CQ
-	Arity        int
-	SelfJoinFree bool
-	HasNegation  bool
-	HasOrder     bool // <, ≤ comparisons
-	HasDiseq     bool // ≠ comparisons
-
-	Acyclic     bool
-	FreeConnex  bool
-	StarSize    int // quantified star size (acyclic queries only)
-	BetaAcyclic bool
-
-	DecisionVerdict    string
-	CountingVerdict    string
-	EnumerationVerdict string
-}
+// Report is the tractability classification of a conjunctive query. It is
+// produced by the plan compiler; the alias keeps the historical core API.
+type Report = plan.Report
 
 // Analyze classifies q along the paper's dichotomies.
 func Analyze(q *logic.CQ) *Report {
-	r := &Report{
-		Query:        q,
-		Arity:        len(q.Head),
-		SelfJoinFree: q.IsSelfJoinFree(),
-		HasNegation:  len(q.NegAtoms) > 0,
-	}
-	for _, c := range q.Comparisons {
-		switch c.Op {
-		case logic.LT, logic.LE:
-			r.HasOrder = true
-		case logic.NEQ:
-			r.HasDiseq = true
-		}
-	}
-	h := q.Hypergraph()
-	r.Acyclic = hypergraph.IsAcyclic(h)
-	r.BetaAcyclic = hypergraph.IsBetaAcyclic(h)
-	if r.Acyclic {
-		r.FreeConnex = hypergraph.FreeConnex(h, q.Head)
-		r.StarSize = hypergraph.QuantifiedStarSize(h, q.Head)
-	}
-	r.fillVerdicts()
-	return r
-}
-
-func (r *Report) fillVerdicts() {
-	switch {
-	case r.HasNegation && len(r.Query.Atoms) == 0:
-		if r.BetaAcyclic {
-			r.DecisionVerdict = "quasi-linear (β-acyclic NCQ, Theorem 4.31)"
-		} else {
-			r.DecisionVerdict = "no quasi-linear algorithm expected (not β-acyclic, Theorem 4.31 under Triangle)"
-		}
-		r.CountingVerdict = "not covered (negative queries: see #SAT literature, Section 4.5)"
-		r.EnumerationVerdict = r.DecisionVerdict
-		return
-	case r.HasNegation:
-		r.DecisionVerdict = "signed query: only partial characterizations known ([18], Section 4.5); generic backtracking used"
-		r.CountingVerdict = r.DecisionVerdict
-		r.EnumerationVerdict = r.DecisionVerdict
-		return
-	case r.HasOrder:
-		r.DecisionVerdict = "W[1]-complete in general (ACQ<, Theorem 4.15); generic backtracking used"
-		r.CountingVerdict = r.DecisionVerdict
-		r.EnumerationVerdict = r.DecisionVerdict
-		return
-	case !r.Acyclic:
-		r.DecisionVerdict = "cyclic: NP-complete combined complexity (Chandra–Merlin); generic backtracking used"
-		r.CountingVerdict = "cyclic: ♯P-hard in general; brute-force counting used"
-		r.EnumerationVerdict = "no Constant-Delay_lin expected (Theorem 4.9 under Hyperclique)"
-		return
-	}
-	r.DecisionVerdict = "O(‖φ‖·‖D‖) semijoin pass (Yannakakis, Theorem 4.2)"
-	if r.StarSize == 1 {
-		r.CountingVerdict = "polynomial via star-size algorithm, k = 1 (free-connex, Theorem 4.28)"
-	} else {
-		r.CountingVerdict = fmt.Sprintf("(‖D‖+‖φ‖)^O(k) via star-size algorithm, k = %d (Theorem 4.28)", r.StarSize)
-	}
-	suffix := ""
-	if r.HasDiseq {
-		suffix = " with disequalities (Theorem 4.20)"
-	}
-	if r.FreeConnex {
-		r.EnumerationVerdict = "Constant-Delay_lin (free-connex, Theorem 4.6)" + suffix
-	} else if r.SelfJoinFree {
-		r.EnumerationVerdict = "linear delay (Theorem 4.3); constant delay impossible under Mat-Mul (Theorem 4.8)" + suffix
-	} else {
-		r.EnumerationVerdict = "linear delay (Theorem 4.3); not free-connex (self-joins: classification open)" + suffix
-	}
-}
-
-// String renders the report as an aligned block.
-func (r *Report) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "query:          %s\n", r.Query)
-	fmt.Fprintf(&b, "arity:          %d\n", r.Arity)
-	fmt.Fprintf(&b, "self-join free: %v\n", r.SelfJoinFree)
-	fmt.Fprintf(&b, "acyclic:        %v\n", r.Acyclic)
-	if r.Acyclic {
-		fmt.Fprintf(&b, "free-connex:    %v\n", r.FreeConnex)
-		fmt.Fprintf(&b, "star size:      %d\n", r.StarSize)
-	}
-	fmt.Fprintf(&b, "β-acyclic:      %v\n", r.BetaAcyclic)
-	fmt.Fprintf(&b, "decide:         %s\n", r.DecisionVerdict)
-	fmt.Fprintf(&b, "count:          %s\n", r.CountingVerdict)
-	fmt.Fprintf(&b, "enumerate:      %s\n", r.EnumerationVerdict)
-	return b.String()
+	return plan.Analyze(q)
 }
 
 // Decide answers the Boolean version of q over db with the best applicable
 // engine.
 func Decide(db *database.Database, q *logic.CQ) (bool, error) {
+	// The decision problem concerns the head-stripped query; compiling the
+	// Boolean query keeps Bind from building an enumeration spine wider
+	// than the decision needs.
 	bq := &logic.CQ{Name: q.Name, Atoms: q.Atoms, NegAtoms: q.NegAtoms, Comparisons: q.Comparisons}
-	switch {
-	case len(bq.NegAtoms) > 0 && len(bq.Atoms) == 0:
-		ok, err := ncq.Decide(db, bq)
-		if err != nil {
-			return ncq.DecideBrute(db, bq)
-		}
-		return ok, nil
-	case len(bq.NegAtoms) > 0:
-		// Signed queries (Section 4.5): only partial complexity
-		// characterizations exist; the generic backtracking engine decides
-		// them correctly.
-		return ineq.DecideBacktrack(db, bq)
-	case len(bq.Comparisons) > 0 || !bq.IsAcyclic():
-		return ineq.DecideBacktrack(db, bq)
-	default:
-		return cq.Decide(db, bq)
+	p, err := plan.Compile(bq)
+	if err != nil {
+		return false, err
 	}
+	pr, err := p.Bind(db)
+	if err != nil {
+		return false, err
+	}
+	return pr.Decide(nil)
+}
+
+// DecideUCQ answers the Boolean version of a union of conjunctive queries:
+// true iff some disjunct decides true. Disjuncts are decided in order and
+// the scan short-circuits at the first satisfied one.
+func DecideUCQ(db *database.Database, u *logic.UCQ) (bool, error) {
+	p, err := plan.CompileUCQ(u)
+	if err != nil {
+		return false, err
+	}
+	pr, err := p.Bind(db)
+	if err != nil {
+		return false, err
+	}
+	return pr.Decide(nil)
 }
 
 // Count computes |φ(D)| with the best applicable engine.
 func Count(db *database.Database, q *logic.CQ) (*big.Int, error) {
-	s := counting.BigInt{}
-	onlyEqNeq := true
-	for _, c := range q.Comparisons {
-		if c.Op != logic.EQ && c.Op != logic.NEQ {
-			onlyEqNeq = false
-		}
+	p, err := plan.Compile(q)
+	if err != nil {
+		return nil, err
 	}
-	switch {
-	case len(q.NegAtoms) == 0 && len(q.Comparisons) == 0 && q.IsAcyclic():
-		v, err := counting.Count(db, q, counting.UnitWeight(s), s)
-		if err != nil {
-			return nil, err
-		}
-		return v.(*big.Int), nil
-	case len(q.NegAtoms) == 0 && onlyEqNeq && q.IsAcyclic():
-		return counting.CountNeq(db, q)
-	default:
-		// Generic fallback: backtracking evaluation.
-		res, err := ineq.EvalBacktrack(db, q)
-		if err != nil {
-			return nil, err
-		}
-		return big.NewInt(int64(len(res))), nil
+	pr, err := p.Bind(db)
+	if err != nil {
+		return nil, err
 	}
+	return pr.Count(nil)
 }
 
 // CountUCQ counts the answers of a union of conjunctive queries by
 // inclusion–exclusion over disjunct intersections.
 func CountUCQ(db *database.Database, u *logic.UCQ) (*big.Int, error) {
-	return counting.CountUCQ(db, u)
+	p, err := plan.CompileUCQ(u)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := p.Bind(db)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Count(nil)
 }
 
 // EnumerateUCQ enumerates a union of conjunctive queries: constant delay
 // with deduplication when the union is free-connex via union extensions
 // (Theorem 4.13), and a materializing fallback otherwise.
 func EnumerateUCQ(db *database.Database, u *logic.UCQ, c *delay.Counter) (delay.Enumerator, error) {
-	if e, err := ucq.Enumerate(db, u, 2, c); err == nil {
-		return e, nil
+	p, err := plan.CompileUCQ(u)
+	if err != nil {
+		return nil, err
 	}
-	// Fallback: evaluate each disjunct and deduplicate.
-	var all []database.Tuple
-	seen := map[string]bool{}
-	for _, d := range u.Disjuncts {
-		res, err := ineq.EvalBacktrack(db, d)
-		if err != nil {
-			return nil, err
-		}
-		for _, t := range res {
-			k := t.FullKey()
-			if !seen[k] {
-				seen[k] = true
-				all = append(all, t)
-			}
-		}
+	pr, err := p.BindCounted(db, c)
+	if err != nil {
+		return nil, err
 	}
-	return delay.Slice(all), nil
+	return pr.Enumerate(c)
 }
 
 // Enumerate produces an answer enumerator with the best applicable engine:
 // constant delay for free-connex (with or without disequalities), linear
 // delay for other acyclic queries, and a materializing fallback otherwise.
+// The preprocessing of the underlying engine runs inside BindCounted, so
+// counted steps are placed exactly as when calling the engine directly.
 func Enumerate(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.Enumerator, error) {
-	if len(q.NegAtoms) > 0 {
-		// Signed queries: materialize via the generic engine.
-		res, err := ineq.EvalBacktrack(db, q)
-		if err != nil {
-			return nil, err
-		}
-		return delay.Slice(res), nil
+	p, err := plan.Compile(q)
+	if err != nil {
+		return nil, err
 	}
-	hasOrder := false
-	hasDiseq := false
-	for _, cmp := range q.Comparisons {
-		switch cmp.Op {
-		case logic.LT, logic.LE, logic.EQ:
-			hasOrder = true
-		case logic.NEQ:
-			hasDiseq = true
-		}
+	pr, err := p.BindCounted(db, c)
+	if err != nil {
+		return nil, err
 	}
-	plain := &logic.CQ{Name: q.Name, Head: q.Head, Atoms: q.Atoms}
-	switch {
-	case hasOrder || !plain.IsAcyclic():
-		res, err := ineq.EvalBacktrack(db, q)
-		if err != nil {
-			return nil, err
-		}
-		return delay.Slice(res), nil
-	case hasDiseq:
-		if plain.IsFreeConnex() {
-			return ineq.EnumerateNeq(db, q, c)
-		}
-		res, err := ineq.EvalBacktrack(db, q)
-		if err != nil {
-			return nil, err
-		}
-		return delay.Slice(res), nil
-	case plain.IsFreeConnex():
-		return cq.EnumerateConstantDelay(db, q, c)
-	default:
-		return cq.EnumerateLinearDelay(db, q, c)
-	}
+	return pr.Enumerate(c)
 }

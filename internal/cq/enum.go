@@ -30,11 +30,25 @@ import (
 //
 // The per-output delay is O(‖φ‖) index operations, independent of ‖D‖.
 func EnumerateConstantDelay(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.Enumerator, error) {
+	core, err := PrepareConstantDelay(db, q, c)
+	if err != nil {
+		return nil, err
+	}
+	return core.Cursor(c), nil
+}
+
+// PrepareConstantDelay runs the full Theorem 4.6 preprocessing — the
+// head-extended join tree, the bottom-up elimination pass, and the full
+// reduction plus index builds over the resulting free parts — and returns
+// the reusable OdometerCore. One core supports any number of enumeration
+// passes via Cursor; the plan cache builds it once per (query, database)
+// pair.
+func PrepareConstantDelay(db *database.Database, q *logic.CQ, c *delay.Counter) (*OdometerCore, error) {
 	parts, err := BuildFreeParts(db, q, c)
 	if err != nil {
 		return nil, err
 	}
-	return NewOdometer(q.Head, parts, c)
+	return NewOdometerCore(q.Head, parts, c)
 }
 
 // BuildFreeParts runs the preprocessing of Theorem 4.6 (steps 1 and 2 of
@@ -104,8 +118,6 @@ func headSet(q *logic.CQ) map[string]bool {
 // ineq package to attach witness checks to each output (Theorem 4.20).
 type Odometer struct {
 	o *odometer
-	// origPos[i] = position in the visit order of input part i.
-	origPos []int
 }
 
 // Next produces the next answer with constant delay.
@@ -114,42 +126,91 @@ func (od *Odometer) Next() (database.Tuple, bool) { return od.o.Next() }
 // PartTuple returns the tuple currently selected in input part i. Only
 // valid after a successful Next.
 func (od *Odometer) PartTuple(i int) database.Tuple {
-	j := od.origPos[i]
+	j := od.o.core.origPos[i]
 	return od.o.row(j, od.o.cursors[j])
 }
 
-// odometer enumerates a full acyclic join of relations over free variables
-// with constant delay after full reduction. Buckets hold row ids into each
-// part's columnar slab, so a cursor move is pure integer arithmetic and a
-// bucket switch is one allocation-free fingerprint lookup.
-type odometer struct {
-	c     *delay.Counter
+// OdometerCore is the immutable, execution-independent half of the
+// constant-delay enumerator: the full-reduced parts laid out in join-tree
+// preorder together with their probe indexes, columnar slabs, and the root
+// bucket. Building it is the data-dependent preprocessing of Theorem 4.6;
+// enumeration state lives in the cursors handed out by Cursor, so one core
+// built once per (query, database) pair serves any number of enumeration
+// passes without repeating reduction or index builds.
+type OdometerCore struct {
 	order []int // node visit order (preorder of the join tree of parts)
 	rels  []Rel // aligned with order
 	// For position j > 0: bucket lookup of rels[j] keyed on the columns
 	// shared with the tree parent, probed with the parent's current tuple.
 	parentPos []int // position in order of the tree parent (or -1 for 0)
-	probeCols []int // flat storage; see probes
 	probes    [][2][]int
 	idx       []*database.Index
 	slabs     []database.Slab // row storage per position
-	cursors   []int
-	buckets   [][]int32 // row ids into slabs[j]
-	outPos    [][2]int  // for each output variable: (position, column)
-	out       database.Tuple
-	started   bool
-	dead      bool
+	root      []int32         // full bucket of the root position (all row ids)
+	outPos    [][2]int        // for each output variable: (position, column)
+	origPos   []int           // origPos[i] = position in the visit order of input part i
+	nout      int             // output arity
+	dead      bool            // some part is empty: the join is empty
+}
+
+// NonEmpty reports whether the underlying join has at least one answer.
+// After full reduction this is a constant-time check, so a bound plan
+// answers the decision problem without any further work.
+func (oc *OdometerCore) NonEmpty() bool { return !oc.dead && len(oc.root) > 0 }
+
+// Cursor starts a fresh enumeration pass over the core. Cursors are
+// independent: each holds its own positions, buckets, and output buffer,
+// ticking c only for the constant-delay cursor moves (never for the
+// preprocessing already captured in the core).
+func (oc *OdometerCore) Cursor(c *delay.Counter) *Odometer {
+	o := &odometer{
+		core:    oc,
+		c:       c,
+		cursors: make([]int, len(oc.order)),
+		buckets: make([][]int32, len(oc.order)),
+		out:     make(database.Tuple, oc.nout),
+		dead:    oc.dead,
+	}
+	if len(oc.order) > 0 {
+		o.buckets[0] = oc.root
+	}
+	return &Odometer{o: o}
+}
+
+// odometer is one enumeration pass: the mutable cursor state over an
+// OdometerCore. Buckets hold row ids into each part's columnar slab, so a
+// cursor move is pure integer arithmetic and a bucket switch is one
+// allocation-free fingerprint lookup.
+type odometer struct {
+	core    *OdometerCore
+	c       *delay.Counter
+	cursors []int
+	buckets [][]int32 // row ids into core.slabs[j]
+	out     database.Tuple
+	started bool
+	dead    bool
 }
 
 // row resolves the cursor-cur tuple of position j as a slab view.
 func (o *odometer) row(j, cur int) database.Tuple {
-	return o.slabs[j].Row(o.buckets[j][cur])
+	return o.core.slabs[j].Row(o.buckets[j][cur])
 }
 
 // NewOdometer builds the constant-delay enumerator for the full join of
 // parts (schemas forming an acyclic hypergraph), with output columns
 // ordered as head. The parts are full-reduced in place.
 func NewOdometer(head []string, parts []Rel, c *delay.Counter) (*Odometer, error) {
+	core, err := NewOdometerCore(head, parts, c)
+	if err != nil {
+		return nil, err
+	}
+	return core.Cursor(c), nil
+}
+
+// NewOdometerCore full-reduces parts along a join tree of their schemas,
+// builds the probe indexes, and returns the reusable core (see
+// OdometerCore). The parts are full-reduced in place.
+func NewOdometerCore(head []string, parts []Rel, c *delay.Counter) (*OdometerCore, error) {
 	span := c.StartSpan("semijoin-reduce", -1)
 	defer span.End()
 	// Join tree of the part schemas.
@@ -194,48 +255,46 @@ func NewOdometer(head []string, parts []Rel, c *delay.Counter) (*Odometer, error
 	}
 	pre(jt.Root())
 
-	o := &odometer{c: c, dead: dead}
-	o.order = order
-	o.rels = make([]Rel, len(order))
-	o.parentPos = make([]int, len(order))
-	o.probes = make([][2][]int, len(order))
-	o.idx = make([]*database.Index, len(order))
-	o.slabs = make([]database.Slab, len(order))
-	o.cursors = make([]int, len(order))
-	o.buckets = make([][]int32, len(order))
+	oc := &OdometerCore{dead: dead, nout: len(head)}
+	oc.order = order
+	oc.rels = make([]Rel, len(order))
+	oc.parentPos = make([]int, len(order))
+	oc.probes = make([][2][]int, len(order))
+	oc.idx = make([]*database.Index, len(order))
+	oc.slabs = make([]database.Slab, len(order))
 	posOf := make(map[int]int, len(order))
 	for j, node := range order {
 		posOf[node] = j
-		o.rels[j] = parts[node]
-		o.slabs[j] = parts[node].R.Slab()
+		oc.rels[j] = parts[node]
+		oc.slabs[j] = parts[node].R.Slab()
 		if j == 0 {
-			o.parentPos[j] = -1
+			oc.parentPos[j] = -1
 			root := make([]int32, parts[node].R.Len())
 			for i := range root {
 				root[i] = int32(i)
 			}
-			o.buckets[j] = root
+			oc.root = root
 			continue
 		}
 		p := jt.Parent[node]
 		pp := posOf[p]
-		o.parentPos[j] = pp
+		oc.parentPos[j] = pp
 		var jc, pc []int
 		for col, v := range parts[node].Schema {
-			if k := o.rels[pp].col(v); k >= 0 {
+			if k := oc.rels[pp].col(v); k >= 0 {
 				jc = append(jc, col)
 				pc = append(pc, k)
 			}
 		}
-		o.probes[j] = [2][]int{jc, pc}
-		o.idx[j] = parts[node].R.IndexOn(jc)
+		oc.probes[j] = [2][]int{jc, pc}
+		oc.idx[j] = parts[node].R.IndexOn(jc)
 	}
 	// Output mapping: first position whose schema holds each head variable.
 	for _, v := range head {
 		found := false
 		for j := range order {
-			if k := o.rels[j].col(v); k >= 0 {
-				o.outPos = append(o.outPos, [2]int{j, k})
+			if k := oc.rels[j].col(v); k >= 0 {
+				oc.outPos = append(oc.outPos, [2]int{j, k})
 				found = true
 				break
 			}
@@ -244,12 +303,11 @@ func NewOdometer(head []string, parts []Rel, c *delay.Counter) (*Odometer, error
 			return nil, fmt.Errorf("cq: head variable %q missing from join parts", v)
 		}
 	}
-	o.out = make(database.Tuple, len(head))
-	origPos := make([]int, len(parts))
+	oc.origPos = make([]int, len(parts))
 	for i := range parts {
-		origPos[i] = posOf[i]
+		oc.origPos[i] = posOf[i]
 	}
-	return &Odometer{o: o, origPos: origPos}, nil
+	return oc, nil
 }
 
 // reinit repositions the cursor of position j at the first tuple of its
@@ -257,9 +315,9 @@ func NewOdometer(head []string, parts []Rel, c *delay.Counter) (*Odometer, error
 // full reduction the bucket is never empty.
 func (o *odometer) reinit(j int) {
 	if j > 0 {
-		pp := o.parentPos[j]
+		pp := o.core.parentPos[j]
 		pt := o.row(pp, o.cursors[pp])
-		o.buckets[j] = o.idx[j].Lookup(pt, o.probes[j][1])
+		o.buckets[j] = o.core.idx[j].Lookup(pt, o.core.probes[j][1])
 		o.c.Tick(1)
 	}
 	o.cursors[j] = 0
@@ -268,7 +326,7 @@ func (o *odometer) reinit(j int) {
 // Next produces the next answer. Each call performs O(number of parts)
 // index operations: constant delay in data complexity.
 func (o *odometer) Next() (database.Tuple, bool) {
-	m := len(o.order)
+	m := len(o.core.order)
 	if o.dead {
 		return nil, false
 	}
@@ -304,7 +362,7 @@ func (o *odometer) Next() (database.Tuple, bool) {
 }
 
 func (o *odometer) emit() database.Tuple {
-	for i, pc := range o.outPos {
+	for i, pc := range o.core.outPos {
 		o.out[i] = o.row(pc[0], o.cursors[pc[0]])[pc[1]]
 		o.c.Tick(1)
 	}
@@ -318,32 +376,80 @@ func (o *odometer) emit() database.Tuple {
 // every surviving candidate value extends to at least one answer and the
 // enumeration never backtracks over dead ends.
 func EnumerateLinearDelay(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.Enumerator, error) {
+	lp, err := PrepareLinearDelay(db, q, c)
+	if err != nil {
+		return nil, err
+	}
+	return lp.Enumerate(c), nil
+}
+
+// LinearPrep is the reusable preprocessing of the linear-delay enumerator:
+// the join tree with its atom relations and their full-reduced copy. One
+// prep serves any number of enumeration passes via Enumerate — each pass
+// re-binds head variables and re-reduces restricted copies, but never
+// repeats the tree build or the base reduction.
+type LinearPrep struct {
+	t       *Tree
+	head    []string
+	base    []Rel // full-reduced copy of the tree relations; nil if the join is empty
+	boolean bool  // the query has no head: Enumerate yields ⊤ or ⊥
+	boolOK  bool
+}
+
+// PrepareLinearDelay builds the join tree for an acyclic conjunctive query
+// and full-reduces a copy of its relations (the linear preprocessing of
+// Theorem 4.3). For Boolean queries it resolves the decision problem
+// instead, so Enumerate is constant-time.
+func PrepareLinearDelay(db *database.Database, q *logic.CQ, c *delay.Counter) (*LinearPrep, error) {
 	bm := c.StartSpan("tree-build", -1)
 	t, err := BuildTree(db, q, false)
 	bm.End()
 	if err != nil {
 		return nil, err
 	}
+	lp := &LinearPrep{t: t, head: q.Head}
 	if len(q.Head) == 0 {
+		lp.boolean = true
 		ok, err := Decide(db, q)
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			return delay.Singleton(database.Tuple{}), nil
-		}
-		return delay.Empty(), nil
+		lp.boolOK = ok
+		return lp, nil
 	}
-	e := &linEnum{t: t, head: q.Head, c: c}
 	span := c.StartSpan("semijoin-reduce", -1)
 	defer span.End()
-	base := reduceCopy(t, t.Rels, c)
-	if base == nil {
+	lp.base = reduceCopy(t, t.Rels, c)
+	return lp, nil
+}
+
+// NonEmpty reports whether the query has at least one answer — constant
+// time once prepared, since full reduction leaves the base empty exactly
+// when the join is empty.
+func (lp *LinearPrep) NonEmpty() bool {
+	if lp.boolean {
+		return lp.boolOK
+	}
+	return lp.base != nil
+}
+
+// Enumerate starts a fresh linear-delay enumeration pass over the prepared
+// instance. The base relations are shared between passes and never
+// mutated: each pass restricts and re-reduces its own copies.
+func (lp *LinearPrep) Enumerate(c *delay.Counter) delay.Enumerator {
+	if lp.boolean {
+		if lp.boolOK {
+			return delay.Singleton(database.Tuple{})
+		}
+		return delay.Empty()
+	}
+	e := &linEnum{t: lp.t, head: lp.head, c: c}
+	if lp.base == nil {
 		e.exhausted = true
 	} else {
-		e.push(base)
+		e.push(lp.base)
 	}
-	return e, nil
+	return e
 }
 
 type linLevel struct {

@@ -128,7 +128,18 @@ type Relation struct {
 	indexesBig map[string]*Index // column lists too wide for a packed signature
 	slabPtr    atomic.Pointer[Slab]
 	sorted     bool // set by Sort/Dedup, cleared by inserts; enables binary-search Contains
+
+	// gen counts mutations (inserts, Sort, Dedup — anything that
+	// invalidates indexes and may dangle row ids). Prepared query plans
+	// snapshot Database.Generation at Bind time and refuse to execute once
+	// it has advanced (plan.ErrStalePlan).
+	gen atomic.Uint64
 }
+
+// Generation returns the relation's mutation counter. It advances on every
+// Insert/TryInsert/Sort/Dedup — exactly the operations that invalidate
+// cached indexes, slabs, and row ids.
+func (r *Relation) Generation() uint64 { return r.gen.Load() }
 
 // NewRelation creates an empty relation of the given name and arity.
 func NewRelation(name string, arity int) *Relation {
@@ -176,6 +187,7 @@ func (r *Relation) invalidateIndexes() {
 	r.indexesBig = nil
 	r.slabPtr.Store(nil)
 	r.sorted = false
+	r.gen.Add(1)
 	r.mu.Unlock()
 }
 
@@ -431,6 +443,10 @@ func Join(name string, r *Relation, rCols []int, s *Relation, sCols []int) *Rela
 type Database struct {
 	Relations map[string]*Relation
 	order     []string // insertion order, for deterministic iteration
+
+	// mutGen counts structural mutations (AddRelation). Together with the
+	// per-relation counters it forms Generation.
+	mutGen atomic.Uint64
 }
 
 // NewDatabase creates an empty database.
@@ -445,6 +461,22 @@ func (db *Database) AddRelation(r *Relation) {
 		db.order = append(db.order, r.Name)
 	}
 	db.Relations[r.Name] = r
+	db.mutGen.Add(1)
+}
+
+// Generation is a monotone counter that advances on every mutation of the
+// database: adding or replacing a relation, and any insert/Sort/Dedup on a
+// member relation. Prepared query plans snapshot it at Bind time; a changed
+// generation means cached row ids, indexes, and reduced relations may be
+// stale. The structural counter is shifted past the per-relation sum so
+// that replacing a relation (which may lower the sum) still strictly
+// increases the result; the read is allocation-free.
+func (db *Database) Generation() uint64 {
+	g := db.mutGen.Load() << 24
+	for _, name := range db.order {
+		g += db.Relations[name].gen.Load()
+	}
+	return g
 }
 
 // Relation returns the named relation, or nil.

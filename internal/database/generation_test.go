@@ -1,0 +1,89 @@
+package database
+
+import "testing"
+
+// TestGenerationMonotone: every mutation entry point advances the database
+// generation, and the generation never decreases — the contract the plan
+// cache's staleness check builds on.
+func TestGenerationMonotone(t *testing.T) {
+	db := NewDatabase()
+	last := db.Generation()
+	step := func(what string) {
+		t.Helper()
+		g := db.Generation()
+		if g <= last {
+			t.Fatalf("%s: generation %d not greater than previous %d", what, g, last)
+		}
+		last = g
+	}
+
+	r := NewRelation("R", 2)
+	r.InsertValues(1, 2)
+	db.AddRelation(r)
+	step("AddRelation")
+
+	r.InsertValues(3, 4)
+	step("InsertValues")
+	r.Insert(Tuple{5, 6})
+	step("Insert")
+	if err := r.TryInsert(Tuple{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	step("TryInsert")
+	r.Sort()
+	step("Sort")
+	r.Dedup()
+	step("Dedup")
+
+	db.AddRelation(NewRelation("S", 1))
+	step("AddRelation(second)")
+	db.Relation("S").InsertValues(9)
+	step("InsertValues(second relation)")
+}
+
+// TestGenerationReadOnlyStable: reads — index builds, projections on
+// copies, Contains — must NOT advance the generation, or every warm cache
+// probe would miss.
+func TestGenerationReadOnlyStable(t *testing.T) {
+	db := NewDatabase()
+	r := NewRelation("R", 2)
+	for i := 0; i < 10; i++ {
+		r.InsertValues(Value(i), Value(i%3))
+	}
+	db.AddRelation(r)
+	g := db.Generation()
+
+	r.IndexOn([]int{0})
+	r.IndexOn([]int{1})
+	_ = r.Contains(Tuple{1, 1})
+	_ = r.Project("P", []int{0})
+	_ = r.Select("Sel", func(t Tuple) bool { return t[0] > 2 })
+	_ = r.Clone()
+	_ = db.Size()
+	_ = db.Domain()
+	_ = db.Clone()
+
+	if db.Generation() != g {
+		t.Fatalf("read-only operations moved the generation: %d -> %d", g, db.Generation())
+	}
+}
+
+// TestGenerationDistinguishesRelations: mutating a relation via a clone of
+// the database does not advance the original's generation.
+func TestGenerationIndependentClones(t *testing.T) {
+	db := NewDatabase()
+	r := NewRelation("R", 1)
+	r.InsertValues(1)
+	db.AddRelation(r)
+	g := db.Generation()
+
+	clone := db.Clone()
+	cg := clone.Generation()
+	clone.Relation("R").InsertValues(2)
+	if db.Generation() != g {
+		t.Fatal("mutating a clone moved the original's generation")
+	}
+	if clone.Generation() == cg {
+		t.Fatal("mutating a clone did not move the clone's generation")
+	}
+}

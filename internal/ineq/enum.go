@@ -45,6 +45,31 @@ type part struct {
 // Π(deg+1); the delay is constant up to outputs suppressed by the final
 // check (see the scope note in DESIGN.md).
 func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.Enumerator, error) {
+	p, err := PrepareNeq(db, q, c)
+	if err != nil {
+		return nil, err
+	}
+	return p.Enumerate(c), nil
+}
+
+// NeqPrep is the reusable preprocessing of the ACQ≠ enumerator: the
+// full-reduced free parts with their witness maps, the odometer core over
+// the free relations, and the classified residual disequalities. One prep
+// serves any number of enumeration passes via Enumerate.
+type NeqPrep struct {
+	empty    bool // a contradictory comparison makes the query unsatisfiable
+	core     *cq.OdometerCore
+	parts    []part
+	freeFree []residual // disequalities between two free variables
+	deferred []residual // disequalities involving a quantified variable
+	freeSet  map[string]bool
+	headPos  map[string]int
+	varPart  map[string]int
+}
+
+// PrepareNeq runs the witness-preserving preprocessing of Theorem 4.20 (see
+// EnumerateNeq) and returns the reusable prep.
+func PrepareNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (*NeqPrep, error) {
 	if len(q.NegAtoms) > 0 {
 		return nil, fmt.Errorf("ineq: query %s has negated atoms", q.Name)
 	}
@@ -88,7 +113,7 @@ func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.E
 		switch {
 		case l.IsConst && r.IsConst:
 			if l.Const == r.Const {
-				return delay.Empty(), nil
+				return &NeqPrep{empty: true}, nil
 			}
 		case l.IsConst != r.IsConst:
 			v, val := l.Var, r.Const
@@ -101,7 +126,7 @@ func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.E
 			constFilters = append(constFilters, constFilter{v: v, val: val})
 		default:
 			if l.Var == r.Var {
-				return delay.Empty(), nil
+				return &NeqPrep{empty: true}, nil
 			}
 			if varAtoms[l.Var] == nil || varAtoms[r.Var] == nil {
 				return nil, fmt.Errorf("ineq: comparison variable occurs in no atom: %s", cmp)
@@ -237,7 +262,7 @@ func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.E
 	}
 	rspan.End()
 
-	od, err := cq.NewOdometer(q.Head, freeRels, c)
+	core, err := cq.NewOdometerCore(q.Head, freeRels, c)
 	if err != nil {
 		return nil, err
 	}
@@ -268,6 +293,25 @@ func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.E
 		}
 	}
 
+	return &NeqPrep{
+		core:     core,
+		parts:    parts,
+		freeFree: freeFree,
+		deferred: deferred,
+		freeSet:  freeSet,
+		headPos:  headPos,
+		varPart:  varPart,
+	}, nil
+}
+
+// Enumerate starts a fresh enumeration pass: a new odometer cursor over the
+// prepared free parts, with the residual disequality checks attached to
+// each output.
+func (p *NeqPrep) Enumerate(c *delay.Counter) delay.Enumerator {
+	if p.empty {
+		return delay.Empty()
+	}
+	od := p.core.Cursor(c)
 	return delay.Func(func() (database.Tuple, bool) {
 		for {
 			out, ok := od.Next()
@@ -276,8 +320,8 @@ func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.E
 			}
 			c.Tick(1)
 			pass := true
-			for _, rc := range freeFree {
-				if out[headPos[rc.a]] == out[headPos[rc.b]] {
+			for _, rc := range p.freeFree {
+				if out[p.headPos[rc.a]] == out[p.headPos[rc.b]] {
 					pass = false
 					break
 				}
@@ -285,12 +329,12 @@ func EnumerateNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (delay.E
 			if !pass {
 				continue
 			}
-			if len(deferred) > 0 && !witnessCheck(parts, od, deferred, freeSet, headPos, varPart, out, c) {
+			if len(p.deferred) > 0 && !witnessCheck(p.parts, od, p.deferred, p.freeSet, p.headPos, p.varPart, out, c) {
 				continue
 			}
 			return out, true
 		}
-	}), nil
+	})
 }
 
 // eliminateWitness turns column z of r into a witness column: rows are

@@ -1,0 +1,195 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/database"
+	"repro/internal/delay"
+	"repro/internal/logic"
+)
+
+// Cache memoizes compiled plans and bound statements. Plans are keyed by
+// the structural fingerprint of the query (collisions resolved by exact
+// comparison); Prepareds by (plan, database) with the database generation
+// checked on every probe, so a mutation transparently forces a re-Bind
+// instead of serving stale row ids. All methods are safe for concurrent
+// use; the warm path (fingerprint, probe, generation check) performs no
+// allocation — pinned by TestCacheWarmPathAllocs.
+type Cache struct {
+	mu       sync.RWMutex
+	plans    map[uint64][]*Plan
+	prepared map[preparedKey]*preparedEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type preparedKey struct {
+	plan *Plan
+	db   *database.Database
+}
+
+type preparedEntry struct {
+	gen uint64
+	pr  *Prepared
+}
+
+// NewCache creates an empty plan cache.
+func NewCache() *Cache {
+	return &Cache{
+		plans:    make(map[uint64][]*Plan),
+		prepared: make(map[preparedKey]*preparedEntry),
+	}
+}
+
+// Stats returns the number of warm probes (hits) and of probes that had to
+// compile and/or bind (misses).
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Reset drops every cached plan and bound statement.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.plans = make(map[uint64][]*Plan)
+	c.prepared = make(map[preparedKey]*preparedEntry)
+	c.mu.Unlock()
+}
+
+// lookupPlan finds a cached plan structurally equal to q (or u). Caller
+// holds at least the read lock.
+func (c *Cache) lookupPlan(fp uint64, q *logic.CQ, u *logic.UCQ) *Plan {
+	for _, p := range c.plans[fp] {
+		if q != nil && p.CQ != nil && equalCQ(p.CQ, q) {
+			return p
+		}
+		if u != nil && p.UCQ != nil && equalUCQ(p.UCQ, u) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Compile returns the cached plan for q, compiling on first use.
+func (c *Cache) Compile(q *logic.CQ) (*Plan, error) {
+	fp := FingerprintCQ(q)
+	c.mu.RLock()
+	p := c.lookupPlan(fp, q, nil)
+	c.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.lookupPlan(fp, q, nil); p != nil {
+		return p, nil
+	}
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	c.plans[fp] = append(c.plans[fp], p)
+	return p, nil
+}
+
+// CompileUCQ is Compile for unions.
+func (c *Cache) CompileUCQ(u *logic.UCQ) (*Plan, error) {
+	fp := FingerprintUCQ(u)
+	c.mu.RLock()
+	p := c.lookupPlan(fp, nil, u)
+	c.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.lookupPlan(fp, nil, u); p != nil {
+		return p, nil
+	}
+	p, err := CompileUCQ(u)
+	if err != nil {
+		return nil, err
+	}
+	c.plans[fp] = append(c.plans[fp], p)
+	return p, nil
+}
+
+// Prepare returns a bound statement for (q, db), compiling and binding at
+// most once per database generation. See PrepareCounted.
+func (c *Cache) Prepare(q *logic.CQ, db *database.Database) (*Prepared, error) {
+	return c.PrepareCounted(q, db, nil)
+}
+
+// PrepareCounted is Prepare with step counting on the miss path (compile
+// and bind spans land on counter). A hit performs two map probes, one
+// generation read, and no allocation.
+func (c *Cache) PrepareCounted(q *logic.CQ, db *database.Database, counter *delay.Counter) (*Prepared, error) {
+	fp := FingerprintCQ(q)
+	c.mu.RLock()
+	p := c.lookupPlan(fp, q, nil)
+	if p != nil {
+		if e := c.prepared[preparedKey{p, db}]; e != nil && e.gen == db.Generation() {
+			c.mu.RUnlock()
+			c.hits.Add(1)
+			return e.pr, nil
+		}
+	}
+	c.mu.RUnlock()
+	return c.prepareSlow(fp, p, q, nil, db, counter)
+}
+
+// PrepareUCQ is Prepare for unions.
+func (c *Cache) PrepareUCQ(u *logic.UCQ, db *database.Database) (*Prepared, error) {
+	return c.PrepareUCQCounted(u, db, nil)
+}
+
+// PrepareUCQCounted is PrepareCounted for unions.
+func (c *Cache) PrepareUCQCounted(u *logic.UCQ, db *database.Database, counter *delay.Counter) (*Prepared, error) {
+	fp := FingerprintUCQ(u)
+	c.mu.RLock()
+	p := c.lookupPlan(fp, nil, u)
+	if p != nil {
+		if e := c.prepared[preparedKey{p, db}]; e != nil && e.gen == db.Generation() {
+			c.mu.RUnlock()
+			c.hits.Add(1)
+			return e.pr, nil
+		}
+	}
+	c.mu.RUnlock()
+	return c.prepareSlow(fp, p, nil, u, db, counter)
+}
+
+// prepareSlow is the miss path: compile if the plan was not cached, bind,
+// and (re)place the prepared entry — evicting a stale one in passing.
+func (c *Cache) prepareSlow(fp uint64, p *Plan, q *logic.CQ, u *logic.UCQ, db *database.Database, counter *delay.Counter) (*Prepared, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p == nil {
+		if p = c.lookupPlan(fp, q, u); p == nil {
+			var err error
+			if u != nil {
+				p, err = CompileUCQ(u)
+			} else {
+				p, err = Compile(q)
+			}
+			if err != nil {
+				return nil, err
+			}
+			c.plans[fp] = append(c.plans[fp], p)
+		}
+	}
+	// Another goroutine may have bound it while we waited for the lock.
+	key := preparedKey{p, db}
+	if e := c.prepared[key]; e != nil && e.gen == db.Generation() {
+		c.hits.Add(1)
+		return e.pr, nil
+	}
+	c.misses.Add(1)
+	pr, err := p.BindCounted(db, counter)
+	if err != nil {
+		return nil, err
+	}
+	c.prepared[key] = &preparedEntry{gen: pr.Generation(), pr: pr}
+	return pr, nil
+}

@@ -1,0 +1,199 @@
+package plan_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/delay"
+	"repro/internal/plan"
+)
+
+// TestCacheHitMiss: first Prepare compiles and binds (miss), the second is
+// a warm probe (hit), a mutation forces exactly one more miss, and the
+// answers track the database state throughout.
+func TestCacheHitMiss(t *testing.T) {
+	q := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	db := chainDB(20)
+	cache := plan.NewCache()
+
+	pr1, err := cache.Prepare(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := cache.Prepare(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr1 != pr2 {
+		t.Error("second Prepare returned a different Prepared")
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("after two Prepares: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// A structurally equal but distinct query value hits the same plan.
+	q2 := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	pr3, err := cache.Prepare(q2, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr3 != pr1 {
+		t.Error("structurally equal query missed the cache")
+	}
+
+	e, err := pr1.Enumerate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(delay.Collect(e))
+
+	// Mutation: the stale entry is evicted and rebound transparently.
+	db.Relation("A").Insert(database.Tuple{900, 1})
+	pr4, err := cache.Prepare(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr4 == pr1 {
+		t.Error("Prepare returned the stale Prepared after a mutation")
+	}
+	if _, misses := cache.Stats(); misses != 2 {
+		t.Errorf("misses=%d after mutation, want 2", misses)
+	}
+	e4, err := pr4.Enumerate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := len(delay.Collect(e4)); after != before+1 {
+		t.Errorf("rebound answers=%d, want %d", after, before+1)
+	}
+
+	// Different databases get independent entries under the same plan.
+	db2 := chainDB(5)
+	if _, err := cache.Prepare(q, db2); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := cache.Stats(); misses != 3 {
+		t.Errorf("misses=%d after second database, want 3", misses)
+	}
+}
+
+// TestCacheUCQ: union plans are cached under the union fingerprint.
+func TestCacheUCQ(t *testing.T) {
+	u := mustUCQ(t, "Q(x) :- A(x,y); Q(x) :- B(x,y).")
+	db := chainDB(10)
+	cache := plan.NewCache()
+	pr1, err := cache.PrepareUCQ(u, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := cache.PrepareUCQ(mustUCQ(t, "Q(x) :- A(x,y); Q(x) :- B(x,y)."), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr1 != pr2 {
+		t.Error("equal unions got distinct Prepareds")
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestCacheWarmPathAllocs pins the warm-path contract: once a (query,
+// database) pair is bound, probing the cache and deciding performs zero
+// allocations — no fingerprint rendering, no key boxing, no index rebuild.
+func TestCacheWarmPathAllocs(t *testing.T) {
+	q := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	db := chainDB(50)
+	cache := plan.NewCache()
+	if _, err := cache.Prepare(q, db); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		pr, err := cache.Prepare(q, db)
+		if err != nil {
+			panic(err)
+		}
+		ok, err := pr.Decide(nil)
+		if err != nil {
+			panic(err)
+		}
+		if !ok {
+			panic("instance unexpectedly empty")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm cache.Prepare + Decide allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines with
+// structurally equal queries and interleaved executions; run under -race
+// this pins the locking discipline. Every goroutine must observe the same
+// answer count.
+func TestCacheConcurrent(t *testing.T) {
+	db := chainDB(30)
+	cache := plan.NewCache()
+	qref := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	pref, err := cache.Prepare(qref, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eref, err := pref.Enumerate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(delay.Collect(eref))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+			for i := 0; i < 50; i++ {
+				pr, err := cache.Prepare(q, db)
+				if err != nil {
+					errs <- err
+					return
+				}
+				e, err := pr.Enumerate(nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := len(delay.Collect(e)); got != want {
+					errs <- fmt.Errorf("got %d answers, want %d", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if hits, misses := cache.Stats(); misses != 1 {
+		t.Errorf("hits=%d misses=%d, want exactly 1 miss", hits, misses)
+	}
+}
+
+// TestCacheReset drops all entries.
+func TestCacheReset(t *testing.T) {
+	q := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	db := chainDB(5)
+	cache := plan.NewCache()
+	if _, err := cache.Prepare(q, db); err != nil {
+		t.Fatal(err)
+	}
+	cache.Reset()
+	if _, err := cache.Prepare(q, db); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := cache.Stats(); misses != 2 {
+		t.Errorf("misses=%d after Reset, want 2", misses)
+	}
+}

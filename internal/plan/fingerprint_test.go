@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func parseCQ(t *testing.T, src string) *logic.CQ {
+	t.Helper()
+	q, err := logic.ParseCQ(src)
+	if err != nil {
+		t.Fatalf("ParseCQ(%q): %v", src, err)
+	}
+	return q
+}
+
+// TestFingerprintStability: the fingerprint is a pure function of the query
+// structure — equal across calls and across independently parsed values.
+func TestFingerprintStability(t *testing.T) {
+	src := "Q(x,y) :- A(x,y), B(y,z), x != z."
+	a, b := parseCQ(t, src), parseCQ(t, src)
+	if FingerprintCQ(a) != FingerprintCQ(b) {
+		t.Error("equal queries got different fingerprints")
+	}
+	if FingerprintCQ(a) != FingerprintCQ(a) {
+		t.Error("fingerprint not deterministic")
+	}
+	if !equalCQ(a, b) {
+		t.Error("equalCQ rejects structurally equal queries")
+	}
+}
+
+// TestFingerprintSensitivity: every structural edit — head order, atom
+// name, variable renaming, comparison operator, negation — must move the
+// fingerprint (these are distinct queries; a collision here would be
+// resolved by equalCQ, but the hash should separate them outright).
+func TestFingerprintSensitivity(t *testing.T) {
+	base := parseCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	variants := []string{
+		"Q(y,x) :- A(x,y), B(y,z).",         // head order
+		"Q(x,y) :- A(y,x), B(y,z).",         // argument order
+		"Q(x,y) :- C(x,y), B(y,z).",         // atom name
+		"Q(x,y) :- A(x,y), B(y,w).",         // variable renamed
+		"Q(x,y) :- A(x,y), B(y,z), x != z.", // extra comparison
+		"Q(x,y) :- A(x,y), B(y,z), x < z.",  // (different op below)
+		"Q(x,y) :- A(x,y), B(y,z), !C(x).",  // negated atom
+		"Q(x) :- A(x,y), B(y,z).",           // narrower head
+	}
+	seen := map[uint64]string{FingerprintCQ(base): base.String()}
+	for _, src := range variants {
+		v := parseCQ(t, src)
+		fp := FingerprintCQ(v)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision: %q vs %q", prev, src)
+		}
+		seen[fp] = src
+		if equalCQ(base, v) {
+			t.Errorf("equalCQ conflates %q with the base query", src)
+		}
+	}
+	// Operator identity matters: x != z vs x < z differ.
+	neq := parseCQ(t, "Q(x,y) :- A(x,y), B(y,z), x != z.")
+	lt := parseCQ(t, "Q(x,y) :- A(x,y), B(y,z), x < z.")
+	if FingerprintCQ(neq) == FingerprintCQ(lt) {
+		t.Error("comparison operator not folded into the fingerprint")
+	}
+	if equalCQ(neq, lt) {
+		t.Error("equalCQ ignores the comparison operator")
+	}
+}
+
+// TestFingerprintUCQ: union fingerprints separate unions from their own
+// disjuncts and are sensitive to disjunct order (the cache treats reordered
+// unions as distinct — answers agree, but plans are not shared).
+func TestFingerprintUCQ(t *testing.T) {
+	u1, err := logic.ParseUCQ("Q(x) :- A(x,y); Q(x) :- B(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := logic.ParseUCQ("Q(x) :- B(x,y); Q(x) :- A(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintUCQ(u1) == FingerprintUCQ(u2) {
+		t.Error("reordered unions share a fingerprint")
+	}
+	if equalUCQ(u1, u2) {
+		t.Error("equalUCQ conflates reordered unions")
+	}
+	if FingerprintUCQ(u1) == FingerprintCQ(u1.Disjuncts[0]) {
+		t.Error("union fingerprint equals its first disjunct's CQ fingerprint")
+	}
+	u3, err := logic.ParseUCQ("Q(x) :- A(x,y); Q(x) :- B(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintUCQ(u1) != FingerprintUCQ(u3) || !equalUCQ(u1, u3) {
+		t.Error("equal unions do not match")
+	}
+}
+
+// TestFingerprintAllocs: hashing must not allocate — it runs on the cache's
+// warm path under a read lock.
+func TestFingerprintAllocs(t *testing.T) {
+	q := parseCQ(t, "Q(x,y) :- A(x,y), B(y,z), x != z, !C(x).")
+	if a := testing.AllocsPerRun(100, func() { FingerprintCQ(q) }); a != 0 {
+		t.Errorf("FingerprintCQ allocates %.1f objects/run, want 0", a)
+	}
+	q2 := parseCQ(t, "Q(x,y) :- A(x,y), B(y,z), x != z, !C(x).")
+	if a := testing.AllocsPerRun(100, func() { equalCQ(q, q2) }); a != 0 {
+		t.Errorf("equalCQ allocates %.1f objects/run, want 0", a)
+	}
+}

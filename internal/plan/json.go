@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// planJSON is the machine-readable rendering of a compiled plan, emitted
+// by qeval -task analyze -format json.
+type planJSON struct {
+	Query          string             `json:"query"`
+	Fingerprint    string             `json:"fingerprint"`
+	Classification *Report            `json:"classification,omitempty"`
+	Engines        map[string]Engine  `json:"engines"`
+	JoinTree       []joinTreeNodeJSON `json:"join_tree,omitempty"`
+	Disjuncts      []*planJSON        `json:"disjuncts,omitempty"`
+}
+
+// joinTreeNodeJSON is one node of the GYO join tree: the atom (or the
+// synthetic head edge), its variables, and the parent index (-1 for the
+// root).
+type joinTreeNodeJSON struct {
+	Name   string   `json:"name"`
+	Vars   []string `json:"vars"`
+	Parent int      `json:"parent"`
+}
+
+func (p *Plan) jsonView() *planJSON {
+	v := &planJSON{
+		Fingerprint:    fmt.Sprintf("%016x", p.fp),
+		Classification: p.Report,
+		Engines: map[string]Engine{
+			"decide":    p.DecideEngine,
+			"count":     p.CountEngine,
+			"enumerate": p.EnumerateEngine,
+		},
+	}
+	if p.UCQ != nil {
+		v.Query = p.UCQ.String()
+	} else {
+		v.Query = p.CQ.String()
+	}
+	if p.JoinTree != nil {
+		for i, e := range p.JoinTree.Nodes {
+			v.JoinTree = append(v.JoinTree, joinTreeNodeJSON{
+				Name:   e.Name,
+				Vars:   e.Vertices,
+				Parent: p.JoinTree.Parent[i],
+			})
+		}
+	}
+	for _, d := range p.Disjuncts {
+		v.Disjuncts = append(v.Disjuncts, d.jsonView())
+	}
+	return v
+}
+
+// MarshalJSON renders the plan: query, fingerprint, classification
+// verdicts, chosen engines, and join tree (per disjunct for unions).
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.jsonView())
+}
