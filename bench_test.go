@@ -701,6 +701,73 @@ func BenchmarkPlanCacheBind(b *testing.B) {
 	})
 }
 
+// BenchmarkPreparedRefresh pins the delta-binding contract (qbench E20
+// runs the size sweep). cold is the full Bind; refresh is a single-tuple
+// insert absorbed in place by Prepared.Refresh on a warm statement;
+// rebind pays the same mutation with a fresh Bind — the cliff Refresh
+// exists to avoid.
+func BenchmarkPreparedRefresh(b *testing.B) {
+	q := logictest.MustParseCQ("Q(x,y) :- A(x,y), B(y,z).")
+	n := 1 << 14
+	b.Run("cold", func(b *testing.B) {
+		db := e5DB(n)
+		p, err := plan.Compile(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Bind(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("refresh", func(b *testing.B) {
+		db := e5DB(n)
+		a := db.Relation("A")
+		p, err := plan.Compile(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr, err := p.Bind(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The first refresh after a mutation rebuilds in place and installs
+		// the incremental refreshers; pay it outside the timed loop.
+		a.Insert(database.Tuple{database.Value(n), 0})
+		if _, err := pr.Refresh(nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Insert(database.Tuple{database.Value(n + 1 + i), database.Value(i % 199)})
+			kind, err := pr.Refresh(nil)
+			if err != nil || kind != plan.RefreshDelta {
+				b.Fatal(kind, err)
+			}
+		}
+	})
+	b.Run("rebind", func(b *testing.B) {
+		db := e5DB(n)
+		a := db.Relation("A")
+		p, err := plan.Compile(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Insert(database.Tuple{database.Value(n + 1 + i), database.Value(i % 199)})
+			if _, err := p.Bind(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---- Ablations for DESIGN.md's called-out design choices ----
 
 // AblationReducerPasses: deciding a Boolean ACQ needs only the bottom-up

@@ -1,4 +1,4 @@
-// Command qbench regenerates every experiment of DESIGN.md (E1–E19),
+// Command qbench regenerates every experiment of DESIGN.md (E1–E20),
 // printing one paper-style table per experiment. Each experiment validates
 // the *shape* of a complexity bound stated in the paper — linear scaling,
 // constant vs linear delay, the n^k star-size sweep, the
@@ -130,6 +130,7 @@ func main() {
 		{"E17", "Extension: random access and random-order enumeration for free-connex ACQs ([23], §4.3)", e17},
 		{"E18", "Extension: parallel Yannakakis with sharded hash joins — wall time scales with cores, counted steps do not", e18},
 		{"E19", "Extension: Compile → Bind → Execute amortization — bind once, execute N times through the plan cache", e19},
+		{"E20", "Extension: delta-binding — steady-state single-tuple updates via Refresh vs the full re-Bind cliff", e20},
 	}
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
@@ -1006,6 +1007,125 @@ func e19() {
 	fmt.Println("shape: speedup approaches the preprocess/execute time ratio as N grows — the")
 	fmt.Println("bind work (join tree, reduction, indexes) is amortized across executions while")
 	fmt.Println("each execution keeps the engine's delay guarantee.")
+}
+
+// ---------------------------------------------------------------- E20
+
+func e20() {
+	fmt.Println("free-connex Q(x,y) :- A(x,y), B(y,z): single-tuple inserts and deletes against")
+	fmt.Println("a warm statement — Refresh patches the bound spine (reduced sets, row buckets,")
+	fmt.Println("slabs) in place; the cliff re-runs the full Bind preprocessing per update.")
+	fmt.Printf("%-8s %-10s %-9s %-14s %-14s %-9s %-10s\n",
+		"n", "answers", "updates", "refresh(avg)", "rebind(avg)", "cliff", "maxDelay")
+	q := mustCQ("Q(x,y) :- A(x,y), B(y,z).")
+	p, err := plan.Compile(q)
+	check(err)
+	for _, n := range sizes([]int{1 << 14, 1 << 17}, []int{1 << 10, 1 << 12}) {
+		db := database.NewDatabase()
+		a := database.NewRelation("A", 2)
+		b := database.NewRelation("B", 2)
+		for i := 0; i < n; i++ {
+			a.InsertValues(database.Value(i), database.Value(i%199))
+			b.InsertValues(database.Value(i%199), database.Value(i%61))
+		}
+		a.Dedup()
+		b.Dedup()
+		db.AddRelation(a)
+		db.AddRelation(b)
+
+		pr, err := p.Bind(db)
+		check(err)
+		// The first refresh after a mutation is the in-place rebuild that
+		// installs the incremental refreshers; pay it before timing the
+		// steady state.
+		a.Insert(database.Tuple{database.Value(n), 0})
+		if _, err := pr.Refresh(nil); err != nil {
+			check(err)
+		}
+
+		// Steady state: alternate a fresh insert with the delete of the
+		// previous one, refreshing the warm statement after each mutation.
+		updates := 256
+		if *quick {
+			updates = 64
+		}
+		var refreshTotal time.Duration
+		for i := 0; i < updates; i++ {
+			tp := database.Tuple{database.Value(n + 1 + i/2), database.Value(i % 199)}
+			if i%2 == 0 {
+				a.Insert(tp)
+			} else {
+				a.Delete(database.Tuple{database.Value(n + 1 + (i-1)/2), database.Value((i - 1) % 199)})
+			}
+			t0 := time.Now()
+			kind, err := pr.Refresh(nil)
+			refreshTotal += time.Since(t0)
+			check(err)
+			if kind != plan.RefreshDelta {
+				log.Fatalf("E20: update %d fell off the delta path (%v)", i, kind)
+			}
+		}
+		refresh := refreshTotal / time.Duration(updates)
+
+		// The cliff: the same kind of mutation, but the statement is caught
+		// up with a full Bind (join tree, semijoin reduction, index builds).
+		// Only the Bind is timed, as only the Refresh was above.
+		rebinds := 32
+		if *quick {
+			rebinds = 8
+		}
+		var rebindTotal time.Duration
+		for i := 0; i < rebinds; i++ {
+			a.Insert(database.Tuple{database.Value(2*n + i), database.Value(i % 199)})
+			t0 := time.Now()
+			cold, err := p.Bind(db)
+			rebindTotal += time.Since(t0)
+			check(err)
+			if cold.Stale() {
+				log.Fatal("E20: fresh bind is already stale")
+			}
+		}
+		rebind := rebindTotal / time.Duration(rebinds)
+		if _, err := pr.Refresh(nil); err != nil {
+			check(err)
+		}
+
+		// Per-output delay through the refreshed spine vs a fresh bind over
+		// the same final database: the delta patches may not degrade the
+		// constant-delay guarantee of the enumeration phase.
+		cr := newCounter(fmt.Sprintf("refreshed_n%d", n))
+		stRef, outRef := delay.Measure(cr, func() delay.Enumerator {
+			e, err := pr.Enumerate(cr)
+			check(err)
+			return e
+		})
+		fresh, err := p.Bind(db)
+		check(err)
+		cf := newCounter(fmt.Sprintf("fresh_n%d", n))
+		stFresh, outFresh := delay.Measure(cf, func() delay.Enumerator {
+			e, err := fresh.Enumerate(cf)
+			check(err)
+			return e
+		})
+		if len(outRef) != len(outFresh) {
+			log.Fatalf("E20: refreshed statement has %d answers, fresh bind %d", len(outRef), len(outFresh))
+		}
+		if stRef.MaxDelaySteps != stFresh.MaxDelaySteps {
+			log.Fatalf("E20: per-output delay changed after refresh: %d steps vs fresh %d",
+				stRef.MaxDelaySteps, stFresh.MaxDelaySteps)
+		}
+
+		fmt.Printf("%-8d %-10d %-9d %-14v %-14v %-9.1f %-10d\n", n, len(outRef), updates,
+			refresh.Round(time.Nanosecond), rebind.Round(time.Microsecond),
+			float64(rebind)/float64(refresh), stRef.MaxDelaySteps)
+		record(fmt.Sprintf("n%d_refresh_ns", n), refresh.Nanoseconds())
+		record(fmt.Sprintf("n%d_rebind_ns", n), rebind.Nanoseconds())
+		record(fmt.Sprintf("n%d_cliff_ratio", n), float64(rebind)/float64(refresh))
+		record(fmt.Sprintf("n%d_max_delay_steps", n), stRef.MaxDelaySteps)
+	}
+	fmt.Println("shape: refresh(avg) stays in the microseconds while rebind(avg) grows linearly")
+	fmt.Println("with n, so the cliff ratio widens with the database; maxDelay certifies the")
+	fmt.Println("refreshed spine enumerates with the same per-output step bound as a fresh bind.")
 }
 
 // drainEnum exhausts e, returning the number of answers; with a counter the

@@ -20,6 +20,7 @@ import (
 // used verbatim as values. The trailing period is optional.
 func LoadFacts(r io.Reader, dict *database.Dictionary) (*database.Database, error) {
 	db := database.NewDatabase()
+	pending := make(map[string][]database.Tuple)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lineNo := 0
@@ -60,20 +61,25 @@ func LoadFacts(r io.Reader, dict *database.Dictionary) (*database.Database, erro
 			rel = database.NewRelation(pred, len(tuple))
 			db.AddRelation(rel)
 		}
+		// The arity check runs per line — not deferred to the batch insert —
+		// so a malformed input file surfaces as an error with line context,
+		// never a crash or an end-of-load error pointing at nothing.
 		if rel.Arity != len(tuple) {
 			return nil, fmt.Errorf("core: line %d: %s used with arity %d and %d", lineNo, pred, rel.Arity, len(tuple))
 		}
-		// TryInsert instead of Insert: a malformed input file must surface
-		// as an error with line context, never crash the CLI.
-		if err := rel.TryInsert(tuple); err != nil {
-			return nil, fmt.Errorf("core: line %d: %w", lineNo, err)
-		}
+		pending[pred] = append(pending[pred], tuple)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// Land each relation's rows as one batch: a load is O(1) generation
+	// steps per relation, not one per fact line.
 	for _, name := range db.Names() {
-		db.Relation(name).Dedup()
+		rel := db.Relation(name)
+		if err := rel.InsertBatch(pending[name]); err != nil {
+			return nil, fmt.Errorf("core: loading %s: %w", name, err)
+		}
+		rel.Dedup()
 	}
 	return db, nil
 }

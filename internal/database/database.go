@@ -129,16 +129,29 @@ type Relation struct {
 	slabPtr    atomic.Pointer[Slab]
 	sorted     bool // set by Sort/Dedup, cleared by inserts; enables binary-search Contains
 
-	// gen counts mutations (inserts, Sort, Dedup — anything that
+	// gen counts mutations (inserts, deletes, reorders — anything that
 	// invalidates indexes and may dangle row ids). Prepared query plans
 	// snapshot Database.Generation at Bind time and refuse to execute once
-	// it has advanced (plan.ErrStalePlan).
+	// it has advanced (plan.ErrStalePlan), or incrementally catch up via
+	// the delta log below (plan.Prepared.Refresh).
 	gen atomic.Uint64
+
+	// Bounded per-generation delta log, populated only after
+	// EnableDeltaLog (see mutate.go). deltaFloor is the oldest generation
+	// DeltaSince can still answer from.
+	logDeltas  bool
+	deltaFloor uint64
+	deltaSize  int
+	deltas     []deltaRecord
 }
 
-// Generation returns the relation's mutation counter. It advances on every
-// Insert/TryInsert/Sort/Dedup — exactly the operations that invalidate
-// cached indexes, slabs, and row ids.
+// Generation returns the relation's mutation counter. It advances once
+// per content- or order-changing mutation — Insert/TryInsert, InsertBatch,
+// Delete/DeleteBatch, and Sort/Dedup when they actually move or remove
+// tuples — exactly the operations that invalidate cached indexes, slabs,
+// and row ids. No-op mutations (Sort on a sorted relation, Dedup with
+// nothing to remove, deleting an absent tuple) leave it untouched so warm
+// plans are not staled spuriously.
 func (r *Relation) Generation() uint64 { return r.gen.Load() }
 
 // NewRelation creates an empty relation of the given name and arity.
@@ -147,10 +160,12 @@ func NewRelation(name string, arity int) *Relation {
 }
 
 // FromTuples builds a relation from the given rows, deduplicating them.
+// The rows land as one batch: at most two generation steps (the batch
+// insert and a non-trivial Dedup), not one per row.
 func FromTuples(name string, arity int, rows []Tuple) *Relation {
 	r := NewRelation(name, arity)
-	for _, t := range rows {
-		r.Insert(t)
+	if err := r.InsertBatch(rows); err != nil {
+		panic(err.Error())
 	}
 	r.Dedup()
 	return r
@@ -167,7 +182,7 @@ func (r *Relation) TryInsert(t Tuple) error {
 		return fmt.Errorf("database: relation %s is full: row ids are int32, max %d rows", r.Name, maxRows)
 	}
 	r.Tuples = append(r.Tuples, t)
-	r.invalidateIndexes()
+	r.mutateOne(t)
 	return nil
 }
 
@@ -181,16 +196,6 @@ func (r *Relation) Insert(t Tuple) {
 	}
 }
 
-func (r *Relation) invalidateIndexes() {
-	r.mu.Lock()
-	r.indexes = nil
-	r.indexesBig = nil
-	r.slabPtr.Store(nil)
-	r.sorted = false
-	r.gen.Add(1)
-	r.mu.Unlock()
-}
-
 // InsertValues is Insert with variadic values, convenient in tests.
 func (r *Relation) InsertValues(vs ...Value) {
 	r.Insert(Tuple(vs))
@@ -199,31 +204,68 @@ func (r *Relation) InsertValues(vs ...Value) {
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.Tuples) }
 
-// Sort orders the tuples lexicographically. Row ids held by previously
-// built indexes would dangle, so the caches are invalidated.
+// Sort orders the tuples lexicographically. When tuples actually move,
+// row ids held by previously built indexes would dangle, so the caches
+// are invalidated and the generation advances (with an empty delta: the
+// tuple set is unchanged, only row order). Sorting an already-sorted
+// relation is a no-op and leaves the generation untouched.
 func (r *Relation) Sort() {
+	if r.sorted {
+		return
+	}
+	if sort.SliceIsSorted(r.Tuples, func(i, j int) bool {
+		return r.Tuples[i].Compare(r.Tuples[j]) < 0
+	}) {
+		r.mu.Lock()
+		r.sorted = true
+		r.mu.Unlock()
+		return
+	}
 	sort.Slice(r.Tuples, func(i, j int) bool {
 		return r.Tuples[i].Compare(r.Tuples[j]) < 0
 	})
-	r.invalidateIndexes()
-	r.sorted = true
+	r.mutate(nil, nil, true)
 }
 
-// Dedup sorts the relation and removes duplicate tuples.
+// Dedup sorts the relation and removes duplicate tuples. The generation
+// advances at most once — and not at all when the relation is already
+// sorted and duplicate-free, so a warm Prepared is not staled by a
+// defensive Dedup that changed nothing.
 func (r *Relation) Dedup() {
 	if len(r.Tuples) == 0 {
+		r.mu.Lock()
+		r.sorted = true
+		r.mu.Unlock()
 		return
 	}
-	r.Sort()
+	less := func(i, j int) bool {
+		return r.Tuples[i].Compare(r.Tuples[j]) < 0
+	}
+	reordered := false
+	if !r.sorted && !sort.SliceIsSorted(r.Tuples, less) {
+		sort.Slice(r.Tuples, less)
+		reordered = true
+	}
 	out := r.Tuples[:1]
+	var removed []Tuple
 	for _, t := range r.Tuples[1:] {
-		if !t.Equal(out[len(out)-1]) {
+		if t.Equal(out[len(out)-1]) {
+			removed = append(removed, t)
+		} else {
 			out = append(out, t)
 		}
 	}
+	if !reordered && len(removed) == 0 {
+		r.mu.Lock()
+		r.sorted = true
+		r.mu.Unlock()
+		return
+	}
+	for i := len(out); i < len(r.Tuples); i++ {
+		r.Tuples[i] = nil // release duplicates held by the backing array
+	}
 	r.Tuples = out
-	r.invalidateIndexes()
-	r.sorted = true
+	r.mutate(nil, removed, true)
 }
 
 // Contains reports whether the relation holds the given tuple. On a

@@ -2,13 +2,25 @@ package database
 
 import "testing"
 
-// TestGenerationMonotone: every mutation entry point advances the database
-// generation, and the generation never decreases — the contract the plan
-// cache's staleness check builds on.
+// TestGenerationMonotone: every content- or order-changing mutation entry
+// point advances the database generation exactly once, no-op mutations
+// leave it alone, and the generation never decreases — the contract the
+// plan cache's staleness check and Prepared.Refresh build on.
 func TestGenerationMonotone(t *testing.T) {
 	db := NewDatabase()
 	last := db.Generation()
-	step := func(what string) {
+	step := func(what string, want uint64) {
+		t.Helper()
+		g := db.Generation()
+		if g < last {
+			t.Fatalf("%s: generation went backwards: %d -> %d", what, last, g)
+		}
+		if g-last != want {
+			t.Fatalf("%s: generation advanced by %d, want %d", what, g-last, want)
+		}
+		last = g
+	}
+	stepUp := func(what string) {
 		t.Helper()
 		g := db.Generation()
 		if g <= last {
@@ -18,27 +30,79 @@ func TestGenerationMonotone(t *testing.T) {
 	}
 
 	r := NewRelation("R", 2)
-	r.InsertValues(1, 2)
+	r.InsertValues(5, 6)
 	db.AddRelation(r)
-	step("AddRelation")
+	stepUp("AddRelation")
 
 	r.InsertValues(3, 4)
-	step("InsertValues")
-	r.Insert(Tuple{5, 6})
-	step("Insert")
-	if err := r.TryInsert(Tuple{7, 8}); err != nil {
+	step("InsertValues", 1)
+	r.Insert(Tuple{1, 2})
+	step("Insert", 1)
+	if err := r.TryInsert(Tuple{3, 4}); err != nil { // duplicate, for Dedup below
 		t.Fatal(err)
 	}
-	step("TryInsert")
+	step("TryInsert", 1)
+
+	// The tuples are out of order, so Sort really moves rows: one bump.
 	r.Sort()
-	step("Sort")
+	step("Sort(reorders)", 1)
+	// Already sorted: no bump.
+	r.Sort()
+	step("Sort(no-op)", 0)
+	// A duplicate (3,4) is present, so Dedup removes it: exactly one bump,
+	// not the historical two (Sort's plus Dedup's own).
 	r.Dedup()
-	step("Dedup")
+	step("Dedup(removes)", 1)
+	if r.Len() != 3 {
+		t.Fatalf("after Dedup: %d tuples, want 3", r.Len())
+	}
+	// Sorted and duplicate-free: no bump.
+	r.Dedup()
+	step("Dedup(no-op)", 0)
+
+	// A batch insert is one mutation regardless of size.
+	if err := r.InsertBatch([]Tuple{{7, 8}, {9, 10}, {11, 12}}); err != nil {
+		t.Fatal(err)
+	}
+	step("InsertBatch", 1)
+	if err := r.InsertBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	step("InsertBatch(empty)", 0)
+
+	if !r.Delete(Tuple{7, 8}) {
+		t.Fatal("Delete(7,8) found nothing")
+	}
+	step("Delete", 1)
+	if r.Delete(Tuple{777, 888}) {
+		t.Fatal("Delete of an absent tuple reported a removal")
+	}
+	step("Delete(absent)", 0)
+	if n := r.DeleteBatch([]Tuple{{9, 10}, {11, 12}}); n != 2 {
+		t.Fatalf("DeleteBatch removed %d occurrences, want 2", n)
+	}
+	step("DeleteBatch", 1)
 
 	db.AddRelation(NewRelation("S", 1))
-	step("AddRelation(second)")
+	stepUp("AddRelation(second)")
 	db.Relation("S").InsertValues(9)
-	step("InsertValues(second relation)")
+	step("InsertValues(second relation)", 1)
+}
+
+// TestGenerationFromTuplesBatched: building a relation from N rows costs
+// O(1) generation steps, not N — the bulk paths route through InsertBatch.
+func TestGenerationFromTuplesBatched(t *testing.T) {
+	rows := make([]Tuple, 100)
+	for i := range rows {
+		rows[i] = Tuple{Value(i % 10), Value(i % 7)}
+	}
+	r := FromTuples("R", 2, rows)
+	if g := r.Generation(); g > 2 {
+		t.Fatalf("FromTuples of 100 rows advanced the generation %d times, want <= 2", g)
+	}
+	if r.Len() != 70 {
+		t.Fatalf("FromTuples: %d tuples after dedup, want 70", r.Len())
+	}
 }
 
 // TestGenerationReadOnlyStable: reads — index builds, projections on

@@ -41,6 +41,23 @@ func (s Slab) Len() int {
 	return len(s.data) / s.arity
 }
 
+// Append adds a row to the slab and returns the grown slab together with
+// the new row's id. The original slab value is untouched (append copies
+// when the backing array is full, and freshly built slabs have no spare
+// capacity), so existing row views stay valid; delta refresh uses this to
+// extend a bound spine's storage without rebuilding it.
+func (s Slab) Append(t Tuple) (Slab, int32) {
+	if s.arity == 0 || len(t) != s.arity {
+		panic(fmt.Sprintf("database: slab append: arity %d, got tuple of length %d", s.arity, len(t)))
+	}
+	id := int32(s.Len())
+	s.data = append(s.data, t...)
+	return s, id
+}
+
+// Full reports whether the slab has reached the int32 row-id capacity.
+func (s Slab) Full() bool { return s.Len() >= maxRows }
+
 // Slab returns the relation's columnar slab, building and caching it on
 // first use. The slab is invalidated by mutations, like the indexes.
 func (r *Relation) Slab() Slab {
@@ -181,6 +198,7 @@ type Index struct {
 	hash   keyHashFunc
 	shards []shard
 	mask   uint32
+	waste  int // row slots abandoned by AddRow relocations and RemoveRow shrinks
 }
 
 // keyEq reports whether the indexed row's key columns equal the probe's
@@ -412,6 +430,133 @@ next:
 		off += int32(len(grp))
 	}
 	return spans
+}
+
+// --- in-place patching ------------------------------------------------
+//
+// Delta refresh (plan.Prepared.Refresh) patches a bound index instead of
+// rebuilding it: inserted rows are appended to the slab and routed into
+// their bucket, deleted rows are cut out of theirs. Lookup's contract —
+// one contiguous, allocation-free sub-slice per key — is preserved by
+// relocating a bucket to the tail of the shard's row array when it cannot
+// grow in place; the abandoned slots are tracked in waste so the consumer
+// can fall back to a rebuild once the layout degrades too far. Patching
+// is NOT safe concurrently with lookups; the refresh path serializes
+// both.
+
+// SetSlab repoints the index at a grown slab (from Slab.Append). The new
+// slab must extend the indexed one: existing row ids must resolve to the
+// same tuples.
+func (ix *Index) SetSlab(s Slab) { ix.slab = s }
+
+// Waste returns the number of abandoned row slots accumulated by AddRow
+// relocations and RemoveRow shrinks — a proxy for layout degradation.
+func (ix *Index) Waste() int { return ix.waste }
+
+// AddRow routes slab row id into its bucket, creating the bucket if the
+// key is new. The row must already be present in the slab (SetSlab first
+// when it was just appended).
+func (ix *Index) AddRow(id int32) {
+	t := ix.slab.Row(id)
+	fp := ix.hash(t, ix.Cols)
+	sh := &ix.shards[uint32(fp)&ix.mask]
+	sp, ok := sh.buckets[fp]
+	if !ok {
+		sh.rows = append(sh.rows, id)
+		sh.buckets[fp] = span{int32(len(sh.rows) - 1), 1}
+		return
+	}
+	if ix.keyEq(sh.rows[sp.off], t, ix.Cols) {
+		sh.buckets[fp] = ix.appendToSpan(sh, sp, id)
+		return
+	}
+	for i, osp := range sh.overflow[fp] {
+		if ix.keyEq(sh.rows[osp.off], t, ix.Cols) {
+			sh.overflow[fp][i] = ix.appendToSpan(sh, osp, id)
+			return
+		}
+	}
+	// New key whose fingerprint collides with an existing one.
+	sh.rows = append(sh.rows, id)
+	if sh.overflow == nil {
+		sh.overflow = make(map[uint64][]span)
+	}
+	sh.overflow[fp] = append(sh.overflow[fp], span{int32(len(sh.rows) - 1), 1})
+}
+
+// appendToSpan grows a bucket by one row: in place when the span already
+// sits at the tail of the shard's row array, otherwise by relocating the
+// whole bucket to the tail (keeping it contiguous for Lookup) and
+// abandoning the old slots.
+func (ix *Index) appendToSpan(sh *shard, sp span, id int32) span {
+	if int(sp.off+sp.n) == len(sh.rows) {
+		sh.rows = append(sh.rows, id)
+		return span{sp.off, sp.n + 1}
+	}
+	off := int32(len(sh.rows))
+	sh.rows = append(sh.rows, sh.rows[sp.off:sp.off+sp.n]...)
+	sh.rows = append(sh.rows, id)
+	ix.waste += int(sp.n)
+	return span{off, sp.n + 1}
+}
+
+// RemoveRow cuts slab row id out of its bucket, reporting whether it was
+// found. The bucket shrinks in place (the removed slot is swapped with
+// the bucket's last and abandoned); an emptied bucket is deleted, with
+// any fingerprint-colliding overflow span promoted in its place.
+func (ix *Index) RemoveRow(id int32) bool {
+	t := ix.slab.Row(id)
+	fp := ix.hash(t, ix.Cols)
+	sh := &ix.shards[uint32(fp)&ix.mask]
+	sp, ok := sh.buckets[fp]
+	if !ok {
+		return false
+	}
+	if cut, found := ix.cutFromSpan(sh, sp, id); found {
+		if cut.n == 0 {
+			if ovs := sh.overflow[fp]; len(ovs) > 0 {
+				sh.buckets[fp] = ovs[0]
+				if len(ovs) == 1 {
+					delete(sh.overflow, fp)
+				} else {
+					sh.overflow[fp] = ovs[1:]
+				}
+			} else {
+				delete(sh.buckets, fp)
+			}
+		} else {
+			sh.buckets[fp] = cut
+		}
+		return true
+	}
+	for i, osp := range sh.overflow[fp] {
+		if cut, found := ix.cutFromSpan(sh, osp, id); found {
+			if cut.n == 0 {
+				ovs := sh.overflow[fp]
+				sh.overflow[fp] = append(ovs[:i], ovs[i+1:]...)
+				if len(sh.overflow[fp]) == 0 {
+					delete(sh.overflow, fp)
+				}
+			} else {
+				sh.overflow[fp][i] = cut
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// cutFromSpan removes id from the span if present, swapping it with the
+// span's last row and shrinking by one.
+func (ix *Index) cutFromSpan(sh *shard, sp span, id int32) (span, bool) {
+	for i := sp.off; i < sp.off+sp.n; i++ {
+		if sh.rows[i] == id {
+			sh.rows[i] = sh.rows[sp.off+sp.n-1]
+			ix.waste++
+			return span{sp.off, sp.n - 1}, true
+		}
+	}
+	return sp, false
 }
 
 // --- KeyMap -----------------------------------------------------------

@@ -67,6 +67,21 @@ type NeqPrep struct {
 	varPart  map[string]int
 }
 
+// Rebuild re-runs the Theorem 4.20 preprocessing against db and replaces
+// the prep's state in place, so existing holders of the pointer see the
+// fresh spine. Incremental maintenance of the witness maps under deltas
+// is future work; a rebuild is always correct, and plan.Prepared.Refresh
+// uses it to survive mutations without handing out a new prep. On error
+// the prep is left untouched.
+func (np *NeqPrep) Rebuild(db *database.Database, q *logic.CQ, c *delay.Counter) error {
+	fresh, err := PrepareNeq(db, q, c)
+	if err != nil {
+		return err
+	}
+	*np = *fresh
+	return nil
+}
+
 // PrepareNeq runs the witness-preserving preprocessing of Theorem 4.20 (see
 // EnumerateNeq) and returns the reusable prep.
 func PrepareNeq(db *database.Database, q *logic.CQ, c *delay.Counter) (*NeqPrep, error) {

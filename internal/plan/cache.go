@@ -21,8 +21,16 @@ type Cache struct {
 	plans    map[uint64][]*Plan
 	prepared map[preparedKey]*preparedEntry
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// maxPrepared bounds len(prepared); 0 means unbounded. Entries beyond
+	// the bound are evicted least-recently-used, so a workload cycling
+	// through many (plan, database) pairs cannot grow the cache — and,
+	// through the db pointers in its keys, retain dead databases — forever.
+	maxPrepared int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	refreshes atomic.Uint64
+	clock     atomic.Uint64
 }
 
 type preparedKey struct {
@@ -31,8 +39,13 @@ type preparedKey struct {
 }
 
 type preparedEntry struct {
-	gen uint64
-	pr  *Prepared
+	gen     uint64
+	pr      *Prepared
+	lastUse atomic.Uint64
+}
+
+func (c *Cache) touch(e *preparedEntry) {
+	e.lastUse.Store(c.clock.Add(1))
 }
 
 // NewCache creates an empty plan cache.
@@ -47,6 +60,62 @@ func NewCache() *Cache {
 // compile and/or bind (misses).
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Refreshes returns how many probes found a stale statement and caught it
+// up in place (Prepared.Refresh) instead of binding a fresh one. A refresh
+// counts as neither hit nor miss.
+func (c *Cache) Refreshes() uint64 { return c.refreshes.Load() }
+
+// Len returns the number of bound statements currently cached.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.prepared)
+}
+
+// SetMaxPrepared bounds the number of cached bound statements; 0 removes
+// the bound. If the cache is already over the new bound, least-recently-
+// used entries are evicted immediately.
+func (c *Cache) SetMaxPrepared(n int) {
+	c.mu.Lock()
+	c.maxPrepared = n
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// Sweep drops every cached statement whose database has mutated since it
+// was bound or refreshed, returning how many were dropped. Useful after a
+// bulk load, when catching the survivors up would be pure waste.
+func (c *Cache) Sweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, e := range c.prepared {
+		if e.gen != k.db.Generation() {
+			delete(c.prepared, k)
+			n++
+		}
+	}
+	return n
+}
+
+// evictLocked enforces maxPrepared by dropping least-recently-used
+// entries. Caller holds the write lock.
+func (c *Cache) evictLocked() {
+	if c.maxPrepared <= 0 {
+		return
+	}
+	for len(c.prepared) > c.maxPrepared {
+		var oldest preparedKey
+		first, min := true, uint64(0)
+		for k, e := range c.prepared {
+			if u := e.lastUse.Load(); first || u < min {
+				first, min, oldest = false, u, k
+			}
+		}
+		delete(c.prepared, oldest)
+	}
 }
 
 // Reset drops every cached plan and bound statement.
@@ -130,6 +199,7 @@ func (c *Cache) PrepareCounted(q *logic.CQ, db *database.Database, counter *dela
 	p := c.lookupPlan(fp, q, nil)
 	if p != nil {
 		if e := c.prepared[preparedKey{p, db}]; e != nil && e.gen == db.Generation() {
+			c.touch(e)
 			c.mu.RUnlock()
 			c.hits.Add(1)
 			return e.pr, nil
@@ -151,6 +221,7 @@ func (c *Cache) PrepareUCQCounted(u *logic.UCQ, db *database.Database, counter *
 	p := c.lookupPlan(fp, nil, u)
 	if p != nil {
 		if e := c.prepared[preparedKey{p, db}]; e != nil && e.gen == db.Generation() {
+			c.touch(e)
 			c.mu.RUnlock()
 			c.hits.Add(1)
 			return e.pr, nil
@@ -160,8 +231,10 @@ func (c *Cache) PrepareUCQCounted(u *logic.UCQ, db *database.Database, counter *
 	return c.prepareSlow(fp, p, nil, u, db, counter)
 }
 
-// prepareSlow is the miss path: compile if the plan was not cached, bind,
-// and (re)place the prepared entry — evicting a stale one in passing.
+// prepareSlow is the non-hit path: compile if the plan was not cached,
+// then either catch a stale cached statement up in place (Refresh — the
+// entry, its memory, and its bound spine survive the mutation) or bind a
+// fresh one.
 func (c *Cache) prepareSlow(fp uint64, p *Plan, q *logic.CQ, u *logic.UCQ, db *database.Database, counter *delay.Counter) (*Prepared, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -181,15 +254,28 @@ func (c *Cache) prepareSlow(fp uint64, p *Plan, q *logic.CQ, u *logic.UCQ, db *d
 	}
 	// Another goroutine may have bound it while we waited for the lock.
 	key := preparedKey{p, db}
-	if e := c.prepared[key]; e != nil && e.gen == db.Generation() {
-		c.hits.Add(1)
-		return e.pr, nil
+	if e := c.prepared[key]; e != nil {
+		if e.gen == db.Generation() {
+			c.touch(e)
+			c.hits.Add(1)
+			return e.pr, nil
+		}
+		if _, err := e.pr.Refresh(counter); err == nil {
+			e.gen = e.pr.Generation()
+			c.touch(e)
+			c.refreshes.Add(1)
+			return e.pr, nil
+		}
+		delete(c.prepared, key)
 	}
 	c.misses.Add(1)
 	pr, err := p.BindCounted(db, counter)
 	if err != nil {
 		return nil, err
 	}
-	c.prepared[key] = &preparedEntry{gen: pr.Generation(), pr: pr}
+	e := &preparedEntry{gen: pr.Generation(), pr: pr}
+	c.touch(e)
+	c.prepared[key] = e
+	c.evictLocked()
 	return pr, nil
 }

@@ -49,24 +49,32 @@ func TestCacheHitMiss(t *testing.T) {
 	}
 	before := len(delay.Collect(e))
 
-	// Mutation: the stale entry is evicted and rebound transparently.
+	// Mutation: the stale entry is caught up in place — the SAME Prepared
+	// keeps serving, now against the mutated data, and the probe is neither
+	// a hit nor a miss but a refresh.
 	db.Relation("A").Insert(database.Tuple{900, 1})
 	pr4, err := cache.Prepare(q, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pr4 == pr1 {
-		t.Error("Prepare returned the stale Prepared after a mutation")
+	if pr4 != pr1 {
+		t.Error("Prepare bound a fresh statement instead of refreshing the cached one")
 	}
-	if _, misses := cache.Stats(); misses != 2 {
-		t.Errorf("misses=%d after mutation, want 2", misses)
+	if pr4.Stale() {
+		t.Error("refreshed Prepared still reports stale")
+	}
+	if _, misses := cache.Stats(); misses != 1 {
+		t.Errorf("misses=%d after mutation, want 1 (refresh, not rebind)", misses)
+	}
+	if r := cache.Refreshes(); r != 1 {
+		t.Errorf("refreshes=%d after mutation, want 1", r)
 	}
 	e4, err := pr4.Enumerate(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if after := len(delay.Collect(e4)); after != before+1 {
-		t.Errorf("rebound answers=%d, want %d", after, before+1)
+		t.Errorf("refreshed answers=%d, want %d", after, before+1)
 	}
 
 	// Different databases get independent entries under the same plan.
@@ -74,8 +82,65 @@ func TestCacheHitMiss(t *testing.T) {
 	if _, err := cache.Prepare(q, db2); err != nil {
 		t.Fatal(err)
 	}
-	if _, misses := cache.Stats(); misses != 3 {
-		t.Errorf("misses=%d after second database, want 3", misses)
+	if _, misses := cache.Stats(); misses != 2 {
+		t.Errorf("misses=%d after second database, want 2", misses)
+	}
+	if n := cache.Len(); n != 2 {
+		t.Errorf("cache holds %d statements, want 2", n)
+	}
+}
+
+// TestCacheMutateHeavyBounded: a mutate-heavy loop must not grow the
+// cache — every probe refreshes the one cached statement in place — and a
+// size bound must hold even when the workload cycles through more
+// databases than the cache may retain.
+func TestCacheMutateHeavyBounded(t *testing.T) {
+	q := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	db := chainDB(20)
+	cache := plan.NewCache()
+	pr0, err := cache.Prepare(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		db.Relation("A").Insert(database.Tuple{database.Value(1000 + i), 1})
+		pr, err := cache.Prepare(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr != pr0 {
+			t.Fatalf("step %d: mutation produced a fresh Prepared instead of a refresh", i)
+		}
+		if n := cache.Len(); n != 1 {
+			t.Fatalf("step %d: cache grew to %d statements", i, n)
+		}
+	}
+	if r := cache.Refreshes(); r != 50 {
+		t.Errorf("refreshes=%d, want 50", r)
+	}
+	if _, misses := cache.Stats(); misses != 1 {
+		t.Errorf("misses=%d, want 1", misses)
+	}
+
+	// Size bound: cycling through many databases stays within the cap,
+	// and the hot statement (touched every round) survives eviction.
+	cache.SetMaxPrepared(4)
+	for i := 0; i < 20; i++ {
+		if _, err := cache.Prepare(q, chainDB(5)); err != nil {
+			t.Fatal(err)
+		}
+		if pr, err := cache.Prepare(q, db); err != nil || pr != pr0 {
+			t.Fatalf("round %d: hot statement evicted (pr==pr0: %v, err=%v)", i, pr == pr0, err)
+		}
+		if n := cache.Len(); n > 4 {
+			t.Fatalf("round %d: cache holds %d statements, cap 4", i, n)
+		}
+	}
+
+	// Sweep drops exactly the stale survivors.
+	db.Relation("A").Insert(database.Tuple{2000, 1})
+	if n := cache.Sweep(); n != 1 {
+		t.Errorf("Sweep dropped %d statements, want 1 (only db mutated)", n)
 	}
 }
 

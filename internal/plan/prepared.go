@@ -44,6 +44,14 @@ type Prepared struct {
 	neqPrep   *ineq.NeqPrep
 	spineErr  error
 
+	// Refresh state: the read set pinned at the last bind/refresh, and the
+	// incremental refreshers once a Refresh has installed them (Bind stays
+	// lazy — it only snapshots, so the hot bind path pays nothing).
+	snaps   []relSnap
+	constR  *cq.ConstRefresher
+	linR    *cq.LinearRefresher
+	tracked bool
+
 	mu      sync.Mutex
 	decided bool
 	decideV bool
@@ -97,6 +105,12 @@ func (p *Plan) BindCounted(db *database.Database, c *delay.Counter) (*Prepared, 
 		pr.linPrep, pr.spineErr = cq.PrepareLinearDelay(db, p.CQ, c)
 	case EngineNeqEnum:
 		pr.neqPrep, pr.spineErr = ineq.PrepareNeq(db, p.CQ, c)
+	}
+	if pr.hasSpine() {
+		// Snapshot the read set and switch its delta logs on so a later
+		// Refresh can replay the mutations. The refreshers themselves are
+		// built lazily by the first Refresh that rebinds.
+		pr.trackRelations()
 	}
 	return pr, nil
 }

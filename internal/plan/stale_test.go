@@ -122,22 +122,70 @@ func TestStalePlanAllMethods(t *testing.T) {
 	}
 }
 
-// TestStalePlanIndexOnlyMutations: mutations that reorder or deduplicate —
-// not just insert — advance the generation too, since bound spines hold
-// row-id references into the slabs.
+// TestStalePlanIndexOnlyMutations: mutations that reorder, deduplicate, or
+// delete — not just insert — advance the generation too, since bound
+// spines hold row-id references into the slabs. No-op mutations (Sort on a
+// sorted relation, Dedup with nothing to remove, deleting an absent tuple)
+// must NOT stale a warm plan: that was the spurious-staleness bug.
 func TestStalePlanIndexOnlyMutations(t *testing.T) {
 	for _, tc := range []struct {
-		name   string
-		mutate func(db *database.Database)
+		name      string
+		setup     func(db *database.Database) // pre-Bind state adjustment
+		mutate    func(db *database.Database)
+		wantStale bool
 	}{
-		{"Sort", func(db *database.Database) { db.Relation("A").Sort() }},
-		{"Dedup", func(db *database.Database) { db.Relation("B").Dedup() }},
-		{"Insert", func(db *database.Database) { db.Relation("A").Insert(database.Tuple{800, 801}) }},
-		{"AddRelation", func(db *database.Database) { db.AddRelation(database.NewRelation("Zz", 1)) }},
+		{
+			// (0, 5) appended after the chainDB Dedup leaves A unsorted,
+			// so this Sort really moves rows.
+			name:      "Sort(reorders)",
+			setup:     func(db *database.Database) { db.Relation("A").Insert(database.Tuple{0, 5}) },
+			mutate:    func(db *database.Database) { db.Relation("A").Sort() },
+			wantStale: true,
+		},
+		{
+			name:      "Sort(no-op)",
+			mutate:    func(db *database.Database) { db.Relation("A").Sort() },
+			wantStale: false,
+		},
+		{
+			// chainDB already holds A(0,0); the duplicate makes Dedup real.
+			name:      "Dedup(removes)",
+			setup:     func(db *database.Database) { db.Relation("A").Insert(database.Tuple{0, 0}) },
+			mutate:    func(db *database.Database) { db.Relation("A").Dedup() },
+			wantStale: true,
+		},
+		{
+			name:      "Dedup(no-op)",
+			mutate:    func(db *database.Database) { db.Relation("B").Dedup() },
+			wantStale: false,
+		},
+		{
+			name:      "Insert",
+			mutate:    func(db *database.Database) { db.Relation("A").Insert(database.Tuple{800, 801}) },
+			wantStale: true,
+		},
+		{
+			name:      "Delete",
+			mutate:    func(db *database.Database) { db.Relation("A").Delete(database.Tuple{0, 0}) },
+			wantStale: true,
+		},
+		{
+			name:      "Delete(absent)",
+			mutate:    func(db *database.Database) { db.Relation("A").Delete(database.Tuple{900, 901}) },
+			wantStale: false,
+		},
+		{
+			name:      "AddRelation",
+			mutate:    func(db *database.Database) { db.AddRelation(database.NewRelation("Zz", 1)) },
+			wantStale: true,
+		},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			q := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
 			db := chainDB(10)
+			if tc.setup != nil {
+				tc.setup(db)
+			}
 			p, err := plan.Compile(q)
 			if err != nil {
 				t.Fatal(err)
@@ -147,11 +195,11 @@ func TestStalePlanIndexOnlyMutations(t *testing.T) {
 				t.Fatal(err)
 			}
 			tc.mutate(db)
-			if !pr.Stale() {
-				t.Fatalf("%s did not advance the database generation", tc.name)
+			if pr.Stale() != tc.wantStale {
+				t.Fatalf("%s: Stale() = %v, want %v", tc.name, pr.Stale(), tc.wantStale)
 			}
-			if _, err := pr.Enumerate(nil); !errors.Is(err, plan.ErrStalePlan) {
-				t.Errorf("Enumerate after %s: got %v, want ErrStalePlan", tc.name, err)
+			if _, err := pr.Enumerate(nil); tc.wantStale != errors.Is(err, plan.ErrStalePlan) {
+				t.Errorf("Enumerate after %s: got %v, wantStale %v", tc.name, err, tc.wantStale)
 			}
 		})
 	}

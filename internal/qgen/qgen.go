@@ -347,6 +347,97 @@ func RandRelation(rng *rand.Rand, name string, arity, n, domain int) *database.R
 	return r
 }
 
+// Mutation is one replayable single-tuple update against a named relation.
+// Scripts of mutations drive the update-replay differential suites: the
+// same script applied to equal databases produces equal databases.
+type Mutation struct {
+	Pred   string
+	Insert bool // insert Tuple; otherwise delete every occurrence of it
+	Tuple  database.Tuple
+}
+
+func (m Mutation) String() string {
+	op := "delete"
+	if m.Insert {
+		op = "insert"
+	}
+	return fmt.Sprintf("%s %s%v", op, m.Pred, m.Tuple)
+}
+
+// Apply performs the mutation on db. Deleting an absent tuple is a valid
+// no-op (and, by design, does not advance the relation's generation).
+func (m Mutation) Apply(db *database.Database) error {
+	rel := db.Relation(m.Pred)
+	if rel == nil {
+		return fmt.Errorf("qgen: mutation names unknown relation %s", m.Pred)
+	}
+	if m.Insert {
+		return rel.InsertBatch([]database.Tuple{m.Tuple})
+	}
+	rel.Delete(m.Tuple)
+	return nil
+}
+
+// MutationScript generates n single-tuple mutations against db's
+// relations: mostly inserts (fresh random tuples, sometimes duplicate
+// occurrences of present ones), otherwise deletes of present tuples, with
+// a small chance of deleting an absent tuple (which must be a no-op).
+// Presence is tracked against a simulation of db's contents — db itself is
+// not touched — so generation is deterministic in (rng, db's state now)
+// and the script replays identically on any equal database.
+func MutationScript(rng *rand.Rand, cfg Config, db *database.Database, n int) []Mutation {
+	names := db.Names()
+	if len(names) == 0 {
+		return nil
+	}
+	sim := make(map[string][]database.Tuple, len(names))
+	for _, name := range names {
+		sim[name] = append([]database.Tuple(nil), db.Relation(name).Tuples...)
+	}
+	script := make([]Mutation, 0, n)
+	for len(script) < n {
+		name := names[rng.Intn(len(names))]
+		arity := db.Relation(name).Arity
+		rows := sim[name]
+		roll := rng.Float64()
+		switch {
+		case roll < 0.45 || len(rows) == 0:
+			t := make(database.Tuple, arity)
+			for j := range t {
+				t[j] = database.Value(1 + rng.Intn(cfg.Domain))
+			}
+			sim[name] = append(rows, t)
+			script = append(script, Mutation{Pred: name, Insert: true, Tuple: t})
+		case roll < 0.60:
+			// Duplicate occurrence of a present tuple: multiset bookkeeping
+			// downstream must absorb it without changing any answer set.
+			t := rows[rng.Intn(len(rows))].Clone()
+			sim[name] = append(rows, t)
+			script = append(script, Mutation{Pred: name, Insert: true, Tuple: t})
+		case roll < 0.95:
+			t := rows[rng.Intn(len(rows))].Clone()
+			key := t.FullKey()
+			kept := rows[:0]
+			for _, row := range rows {
+				if row.FullKey() != key {
+					kept = append(kept, row)
+				}
+			}
+			sim[name] = kept
+			script = append(script, Mutation{Pred: name, Tuple: t})
+		default:
+			// Values above cfg.Domain never occur in generated data or
+			// inserts, so this delete targets a guaranteed-absent tuple.
+			t := make(database.Tuple, arity)
+			for j := range t {
+				t[j] = database.Value(cfg.Domain + 1 + rng.Intn(cfg.Domain))
+			}
+			script = append(script, Mutation{Pred: name, Tuple: t})
+		}
+	}
+	return script
+}
+
 // Instance returns the free-connex query and database for a seed under the
 // default configuration — the unit of the differential suites.
 func Instance(seed int64) (*logic.CQ, *database.Database) {
