@@ -1,0 +1,446 @@
+// Command qload is an open-loop traffic generator for qservd: arrivals are
+// scheduled by a Poisson or bursty process at a configured offered rate,
+// independent of how fast the server responds — so saturation shows up as
+// rising latency and 429 backpressure instead of a politely slowing client.
+//
+// The workload is derived from -seed exactly as qservd -gen derives it, so
+// both sides agree on the queries, relations, and mutation tuples with no
+// coordination beyond the seed. The request mix interleaves decide, count,
+// paginated enumerate (with cursor following and stale-cursor restarts),
+// and single-tuple mutations.
+//
+// Usage:
+//
+//	qload -addr http://127.0.0.1:8080 -seed 42 -rate 200 -duration 30s
+//	qload -rates 50,100,200,400,800 -duration 10s -json e21.json
+//
+// With -rates it sweeps offered load and reports a throughput-vs-latency
+// curve; -json writes a qbench-style report (wall_ns = overall p99 latency)
+// that cmd/benchgate can gate in CI. Exit status is nonzero if any response
+// was malformed or unexpected.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+var (
+	addr       = flag.String("addr", "http://127.0.0.1:8080", "qservd base URL")
+	seed       = flag.Int64("seed", 1, "workload seed (must match qservd -gen)")
+	nQueries   = flag.Int("queries", 6, "workload query count (must match qservd -gen-queries)")
+	duration   = flag.Duration("duration", 10*time.Second, "trial duration per rate")
+	rate       = flag.Float64("rate", 200, "offered arrival rate, requests/second")
+	rates      = flag.String("rates", "", "comma-separated rate sweep (overrides -rate)")
+	arrivals   = flag.String("arrivals", "poisson", "arrival process: poisson | bursty")
+	burst      = flag.Int("burst", 16, "burst size for -arrivals bursty")
+	mix        = flag.String("mix", "decide=4,enumerate=4,count=1,mutate=1", "request mix weights")
+	page       = flag.Int("page", 64, "enumerate page size")
+	deadlineMS = flag.Int64("deadline-ms", 0, "per-request deadline_ms to send (0 = server default)")
+	jsonOut    = flag.String("json", "", "write a qbench-style JSON report here")
+)
+
+// classes in a fixed order for deterministic mix sampling and reporting.
+var classes = []string{"decide", "enumerate", "count", "mutate"}
+
+type trialResult struct {
+	offered  float64
+	sent     int64
+	ok       int64
+	rejected int64 // 429 backpressure
+	stale    int64 // 410 stale cursors (expected under concurrent mutation)
+	errors   int64 // malformed or unexpected responses
+	elapsed  time.Duration
+	overall  *obs.Histogram
+	byClass  map[string]*obs.Histogram
+}
+
+type loader struct {
+	client  *http.Client
+	base    string
+	wl      *serve.Workload
+	weights []int
+	wsum    int
+	mutIdx  atomic.Int64
+}
+
+func main() {
+	flag.Parse()
+	weights, wsum, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	// Mutations cycle; 1<<14 steps is plenty for any smoke run and keeps
+	// workload derivation fast.
+	wl := serve.NewWorkload(*seed, *nQueries, 1<<14)
+	ld := &loader{
+		client: &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+			},
+		},
+		base:    strings.TrimRight(*addr, "/"),
+		wl:      wl,
+		weights: weights,
+		wsum:    wsum,
+	}
+
+	if err := ld.waitHealthy(10 * time.Second); err != nil {
+		fatal(err)
+	}
+
+	var sweep []float64
+	if *rates != "" {
+		for _, f := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("bad -rates entry %q", f))
+			}
+			sweep = append(sweep, v)
+		}
+	} else {
+		sweep = []float64{*rate}
+	}
+
+	fmt.Printf("qload: seed=%d queries=%d arrivals=%s mix=%s duration=%s\n",
+		*seed, *nQueries, *arrivals, *mix, *duration)
+	fmt.Printf("%10s %12s %10s %10s %10s %10s %10s %8s\n",
+		"offered", "achieved", "p50(ms)", "p99(ms)", "max(ms)", "429", "410", "errors")
+
+	var results []trialResult
+	for _, r := range sweep {
+		res := ld.runTrial(r, *duration)
+		results = append(results, res)
+		fmt.Printf("%10.0f %12.1f %10.2f %10.2f %10.2f %10d %10d %8d\n",
+			res.offered, float64(res.ok)/res.elapsed.Seconds(),
+			ms(res.overall.Quantile(0.5)), ms(res.overall.Quantile(0.99)), ms(res.overall.Max()),
+			res.rejected, res.stale, res.errors)
+	}
+
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, results); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	for _, res := range results {
+		if res.errors > 0 {
+			fmt.Fprintf(os.Stderr, "qload: %d malformed/unexpected responses\n", res.errors)
+			os.Exit(1)
+		}
+	}
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+func parseMix(s string) ([]int, int, error) {
+	w := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, 0, fmt.Errorf("bad -mix entry %q", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 0 {
+			return nil, 0, fmt.Errorf("bad -mix weight %q", part)
+		}
+		w[kv[0]] = n
+	}
+	var weights []int
+	sum := 0
+	for _, c := range classes {
+		weights = append(weights, w[c])
+		sum += w[c]
+		delete(w, c)
+	}
+	if len(w) > 0 || sum == 0 {
+		return nil, 0, fmt.Errorf("-mix must weight only %v and not all zero", classes)
+	}
+	return weights, sum, nil
+}
+
+func (ld *loader) waitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := ld.client.Get(ld.base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s not healthy after %s", ld.base, timeout)
+}
+
+// runTrial offers load at `offered` req/s for `d` and collects latency and
+// outcome statistics. Open loop: the arrival schedule never waits for
+// responses; each arrival runs in its own goroutine.
+func (ld *loader) runTrial(offered float64, d time.Duration) trialResult {
+	res := trialResult{
+		offered: offered,
+		overall: &obs.Histogram{},
+		byClass: map[string]*obs.Histogram{},
+	}
+	for _, c := range classes {
+		res.byClass[c] = &obs.Histogram{}
+	}
+	rng := rand.New(rand.NewSource(*seed * 1_000_003))
+	var wg sync.WaitGroup
+	start := time.Now()
+	end := start.Add(d)
+
+	fire := func() {
+		wg.Add(1)
+		class := classes[sampleClass(rng, ld.weights, ld.wsum)]
+		qi := rng.Intn(len(ld.wl.Queries))
+		follow := rng.Intn(2) == 0
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			outcome := ld.request(class, qi, follow)
+			lat := time.Since(t0).Nanoseconds()
+			switch outcome {
+			case outcomeOK:
+				atomic.AddInt64(&res.ok, 1)
+				res.overall.Observe(lat)
+				res.byClass[class].Observe(lat)
+			case outcomeRejected:
+				atomic.AddInt64(&res.rejected, 1)
+			case outcomeStale:
+				atomic.AddInt64(&res.stale, 1)
+			default:
+				atomic.AddInt64(&res.errors, 1)
+			}
+		}()
+		atomic.AddInt64(&res.sent, 1)
+	}
+
+	switch *arrivals {
+	case "poisson":
+		for time.Now().Before(end) {
+			fire()
+			time.Sleep(time.Duration(rng.ExpFloat64() / offered * float64(time.Second)))
+		}
+	case "bursty":
+		gap := time.Duration(float64(*burst) / offered * float64(time.Second))
+		for time.Now().Before(end) {
+			for i := 0; i < *burst; i++ {
+				fire()
+			}
+			time.Sleep(gap)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -arrivals %q", *arrivals))
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+func sampleClass(rng *rand.Rand, weights []int, sum int) int {
+	r := rng.Intn(sum)
+	for i, w := range weights {
+		if r < w {
+			return i
+		}
+		r -= w
+	}
+	return len(weights) - 1
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeRejected
+	outcomeStale
+	outcomeError
+)
+
+// post sends one JSON request and decodes the response body.
+func (ld *loader) post(path string, body interface{}, out map[string]*json.RawMessage) (int, outcome) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, outcomeError
+	}
+	resp, err := ld.client.Post(ld.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, outcomeError
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, outcomeError
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return resp.StatusCode, outcomeRejected
+	case http.StatusGone:
+		return resp.StatusCode, outcomeStale
+	case http.StatusOK:
+		if err := json.Unmarshal(data, &out); err != nil {
+			return resp.StatusCode, outcomeError
+		}
+		return resp.StatusCode, outcomeOK
+	default:
+		return resp.StatusCode, outcomeError
+	}
+}
+
+// request performs one logical operation and validates the response shape.
+// For enumerate, `follow` continues pagination one extra page through the
+// returned cursor; a 410 on the follow-up (the database moved between the
+// pages) restarts the pagination once, which is the documented client
+// protocol for stale cursors.
+func (ld *loader) request(class string, qi int, follow bool) outcome {
+	switch class {
+	case "decide", "count":
+		out := map[string]*json.RawMessage{}
+		_, oc := ld.post("/v1/"+class, map[string]interface{}{
+			"query":       ld.wl.Queries[qi].String(),
+			"deadline_ms": *deadlineMS,
+		}, out)
+		if oc == outcomeOK {
+			field := "answer"
+			if class == "count" {
+				field = "count"
+			}
+			if out[field] == nil || out["generation"] == nil {
+				return outcomeError
+			}
+		}
+		return oc
+	case "enumerate":
+		cursor := ""
+		restarted := false
+		for pageNo := 0; ; pageNo++ {
+			out := map[string]*json.RawMessage{}
+			req := map[string]interface{}{
+				"query":       ld.wl.Queries[qi].String(),
+				"limit":       *page,
+				"deadline_ms": *deadlineMS,
+			}
+			if cursor != "" {
+				req["cursor"] = cursor
+			}
+			_, oc := ld.post("/v1/enumerate", req, out)
+			if oc == outcomeStale && cursor != "" && !restarted {
+				// Stale cursor: restart from the first page.
+				restarted = true
+				cursor = ""
+				continue
+			}
+			if oc != outcomeOK {
+				return oc
+			}
+			if out["answers"] == nil || out["done"] == nil {
+				return outcomeError
+			}
+			var done bool
+			if json.Unmarshal(*out["done"], &done) != nil {
+				return outcomeError
+			}
+			if done || !follow || pageNo >= 1 {
+				return outcomeOK
+			}
+			if out["next_cursor"] == nil || json.Unmarshal(*out["next_cursor"], &cursor) != nil {
+				return outcomeError
+			}
+		}
+	case "mutate":
+		i := ld.mutIdx.Add(1) % int64(len(ld.wl.Mutations))
+		m := ld.wl.Mutations[i]
+		op := "delete"
+		if m.Insert {
+			op = "insert"
+		}
+		tuple := make([]int64, len(m.Tuple))
+		for j, v := range m.Tuple {
+			tuple[j] = int64(v)
+		}
+		out := map[string]*json.RawMessage{}
+		_, oc := ld.post("/v1/mutate", map[string]interface{}{
+			"pred": m.Pred, "op": op, "tuple": tuple,
+		}, out)
+		if oc == outcomeOK && (out["applied"] == nil || out["generation"] == nil) {
+			return outcomeError
+		}
+		return oc
+	}
+	return outcomeError
+}
+
+// writeReport emits the qbench JSON shape so cmd/benchgate can compare two
+// runs: one experiment per (arrival process, rate), wall_ns = overall p99
+// request latency, per-class p99s in the extras.
+func writeReport(path string, results []trialResult) error {
+	type expReport struct {
+		ID         string                 `json:"id"`
+		Title      string                 `json:"title"`
+		WallNS     int64                  `json:"wall_ns"`
+		Allocs     uint64                 `json:"allocs"`
+		AllocBytes uint64                 `json:"alloc_bytes"`
+		Extra      map[string]interface{} `json:"extra,omitempty"`
+	}
+	var reports []expReport
+	for _, res := range results {
+		extra := map[string]interface{}{
+			"offered_rps":  res.offered,
+			"achieved_rps": float64(res.ok) / res.elapsed.Seconds(),
+			"p50_ns":       res.overall.Quantile(0.5),
+			"max_ns":       res.overall.Max(),
+			"rejected_429": res.rejected,
+			"stale_410":    res.stale,
+			"errors":       res.errors,
+			"requests_ok":  res.ok,
+		}
+		for _, c := range classes {
+			if h := res.byClass[c]; h.Count() > 0 {
+				extra[c+"_p99_ns"] = h.Quantile(0.99)
+			}
+		}
+		reports = append(reports, expReport{
+			ID: fmt.Sprintf("E21/%s/rate=%.0f", *arrivals, res.offered),
+			Title: fmt.Sprintf("qservd serving: %s arrivals at %.0f req/s for %s",
+				*arrivals, res.offered, res.elapsed.Round(time.Second)),
+			WallNS: res.overall.Quantile(0.99),
+			Extra:  extra,
+		})
+	}
+	out := struct {
+		GoVersion   string      `json:"go_version"`
+		GOMAXPROCS  int         `json:"gomaxprocs"`
+		Quick       bool        `json:"quick"`
+		Experiments []expReport `json:"experiments"`
+	}{runtime.Version(), runtime.GOMAXPROCS(0), false, reports}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command qservd is the query-serving daemon: a long-running HTTP/JSON
+// server that keeps a plan.Cache of prepared statements warm across
+// requests and serves decide/count/enumerate over a mutable database.
+//
+// Usage:
+//
+//	qservd -gen 42 -addr :8080            # seeded qgen workload database
+//	qservd -data facts.txt -addr :8080    # database from a fact file
+//
+// Protocol (POST JSON unless noted):
+//
+//	/v1/prepare    {"query": "..."}                → fingerprint, engines
+//	/v1/decide     {"query": "..."}                → boolean answer
+//	/v1/count      {"query": "..."}                → exact count (decimal string)
+//	/v1/enumerate  {"query", "limit", "cursor"}    → one page + resumable cursor
+//	/v1/enumerate  {"query", "stream": true}       → NDJSON answer stream
+//	/v1/mutate     {"pred", "op", "tuple"}         → single-tuple insert/delete
+//	/healthz (GET), /v1/stats (GET), /debug/vars, /debug/pprof/*
+//
+// Enumeration cursors are opaque, authenticated, and stateless: they can be
+// resumed against any future process serving the same database generation.
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/database"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataPath := flag.String("data", "", "fact file to serve (overrides -gen)")
+	genSeed := flag.Int64("gen", 1, "serve a seeded qgen workload database")
+	genQueries := flag.Int("gen-queries", 6, "number of workload queries the seed covers")
+	maxInflight := flag.Int("max-inflight", 64, "admission control: concurrent request bound (excess → 429)")
+	deadline := flag.Duration("deadline", 5*time.Second, "default per-request execution deadline")
+	cacheSize := flag.Int("cache", 256, "prepared-statement cache bound (LRU)")
+	pageSize := flag.Int("page", 1024, "maximum enumerate page size")
+	flag.Parse()
+
+	var (
+		db   *database.Database
+		dict *database.Dictionary
+	)
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+		dict = &database.Dictionary{}
+		db, err = core.LoadFacts(f, dict)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("qservd: loaded %s (%d relations, generation %d)\n",
+			*dataPath, len(db.Names()), db.Generation())
+	} else {
+		w := serve.NewWorkload(*genSeed, *genQueries, 0)
+		db = w.DB
+		fmt.Printf("qservd: generated workload seed=%d (%d queries, %d relations, generation %d)\n",
+			w.Seed, len(w.Queries), len(db.Names()), db.Generation())
+	}
+
+	srv := serve.New(db, dict, serve.Config{
+		MaxInFlight:     *maxInflight,
+		DefaultDeadline: *deadline,
+		MaxPrepared:     *cacheSize,
+		MaxPageSize:     *pageSize,
+	})
+	srv.Publish("qservd")
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	// expvar and pprof register themselves on the default mux; mount it
+	// under /debug/ so /debug/vars and /debug/pprof/* work as usual.
+	mux.Handle("/debug/", http.DefaultServeMux)
+	_ = expvar.Handler()
+
+	fmt.Printf("qservd: serving on %s (max-inflight %d, deadline %s, cache %d)\n",
+		*addr, *maxInflight, *deadline, *cacheSize)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qservd:", err)
+	os.Exit(1)
+}

@@ -380,13 +380,12 @@ type ConstRefresher struct {
 	upRoot     int
 
 	// Core patching state.
-	core        *OdometerCore
-	pos         []map[string]int32 // per core position: tuple key -> row id
-	rootIdx     map[int32]int      // root row id -> index in core.root
-	sizes       []int              // live rows per core position
-	baseRows    int                // live rows at build time (waste budget)
-	churn       int                // rows appended + removed since build
-	unsupported bool
+	core     *OdometerCore
+	pos      []map[string]int32 // per core position: tuple key -> row id
+	rootIdx  map[int32]int      // root row id -> index in core.root
+	sizes    []int              // live rows per core position
+	baseRows int                // live rows at build time (waste budget)
+	churn    int                // rows appended + removed since build
 }
 
 // NewConstRefresher builds the maintenance pipeline for a free-connex
@@ -455,9 +454,6 @@ func NewConstRefresher(db *database.Database, q *logic.CQ) (*ConstRefresher, *Od
 	for p, node := range cr.partNode {
 		partSchemas[p] = outSchema[node]
 		h.AddEdge(hypergraph.NewEdge(fmt.Sprintf("V%d", p), partSchemas[p]...))
-		if len(partSchemas[p]) == 0 {
-			cr.unsupported = true // arity-0 parts have no row-id space to patch
-		}
 	}
 	jt, ok := hypergraph.GYO(h)
 	if !ok {
@@ -520,9 +516,6 @@ func NewConstRefresher(db *database.Database, q *logic.CQ) (*ConstRefresher, *Od
 		rel := core.rels[j].R
 		cr.sizes[j] = rel.Len()
 		cr.baseRows += rel.Len()
-		if cr.unsupported {
-			continue
-		}
 		cr.pos[j] = make(map[string]int32, rel.Len())
 		for i, tp := range rel.Tuples {
 			cr.pos[j][tp.FullKey()] = int32(i)
@@ -629,9 +622,6 @@ func (cr *ConstRefresher) runPipeline(deltas map[string]database.Delta) ([]setDe
 // discarded (node state may have advanced past the core's), and the
 // caller rebuilds from scratch — always safe, never wrong answers.
 func (cr *ConstRefresher) Apply(deltas map[string]database.Delta) bool {
-	if cr.unsupported {
-		return false
-	}
 	// Bounded degradation: once patching has churned a large fraction of
 	// the originally bound rows, slab tombstones and index waste make a
 	// rebuild both cheaper and cleaner.
@@ -669,17 +659,30 @@ func (cr *ConstRefresher) Apply(deltas map[string]database.Delta) bool {
 			cr.churn++
 		}
 		for _, t := range d.add {
-			if core.slabs[j].Full() {
-				return false
+			var id int32
+			if len(core.rels[j].Schema) == 0 {
+				// Arity-0 part: the maintained set is {} or {()}, so the
+				// single (empty) row always has id 0 and the slab — which
+				// cannot store zero-width rows — is left untouched. Index
+				// probes over the empty column set never read the slab.
+				if j != 0 {
+					core.idx[j].AddRow(0)
+				}
+			} else {
+				if core.slabs[j].Full() {
+					return false
+				}
+				var slab database.Slab
+				slab, id = core.slabs[j].Append(t)
+				core.slabs[j] = slab
+				if j != 0 {
+					core.idx[j].SetSlab(slab)
+					core.idx[j].AddRow(id)
+				}
 			}
-			slab, id := core.slabs[j].Append(t)
-			core.slabs[j] = slab
 			if j == 0 {
 				cr.rootIdx[id] = len(core.root)
 				core.root = append(core.root, id)
-			} else {
-				core.idx[j].SetSlab(slab)
-				core.idx[j].AddRow(id)
 			}
 			cr.pos[j][t.FullKey()] = id
 			cr.sizes[j]++

@@ -1,0 +1,59 @@
+package plan
+
+// Context plumbing: serving a query over the network gives every request
+// a deadline, and the enumeration loops — the only unbounded work after
+// Bind — must observe it. EnumerateCtx threads a context into the loop at
+// answer granularity: the check is O(1) per output, so the paper's delay
+// guarantees survive cancellation support (constant delay stays constant,
+// just with one more constant-time operation per answer).
+
+import (
+	"context"
+
+	"repro/internal/database"
+	"repro/internal/delay"
+)
+
+// CtxEnumerator wraps an enumerator with cooperative cancellation: Next
+// reports exhaustion as soon as the context is done, and Err tells the
+// two apart. It implements delay.Enumerator.
+type CtxEnumerator struct {
+	e   delay.Enumerator
+	ctx context.Context
+	err error
+}
+
+// Next produces the next answer unless the context has been cancelled or
+// its deadline has passed, in which case it reports ok=false and records
+// the context error.
+func (ce *CtxEnumerator) Next() (database.Tuple, bool) {
+	if ce.err != nil {
+		return nil, false
+	}
+	if err := ce.ctx.Err(); err != nil {
+		ce.err = err
+		return nil, false
+	}
+	return ce.e.Next()
+}
+
+// Err returns nil after ordinary exhaustion and the context's error
+// (context.Canceled or context.DeadlineExceeded) when the enumeration was
+// cut short. Valid once Next has returned ok=false.
+func (ce *CtxEnumerator) Err() error { return ce.err }
+
+// EnumerateCtx is Enumerate with the request context threaded into the
+// enumeration loop: draining the returned enumerator checks ctx once per
+// answer, so a deadline expiring mid-stream stops the pass after at most
+// one more delay unit — no goroutines, timers, or partial state are left
+// behind, because cancellation is observed synchronously by the drainer.
+func (pr *Prepared) EnumerateCtx(ctx context.Context, c *delay.Counter) (*CtxEnumerator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e, err := pr.Enumerate(c)
+	if err != nil {
+		return nil, err
+	}
+	return &CtxEnumerator{e: e, ctx: ctx}, nil
+}

@@ -1,0 +1,84 @@
+package plan_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/delay"
+	"repro/internal/plan"
+)
+
+// TestEnumerateCtxCancelMidStream: cancelling the context mid-drain stops
+// the enumeration at the next answer boundary and Err distinguishes the
+// cut from ordinary exhaustion.
+func TestEnumerateCtxCancelMidStream(t *testing.T) {
+	q := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	db := chainDB(64)
+	p, err := plan.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := p.Bind(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e, err := pr.EnumerateCtx(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for i := 0; i < 5; i++ {
+		if _, ok := e.Next(); !ok {
+			t.Fatalf("exhausted after %d answers, expected ≥ 5", got)
+		}
+		got++
+	}
+	cancel()
+	if _, ok := e.Next(); ok {
+		t.Fatal("Next produced an answer after cancellation")
+	}
+	if !errors.Is(e.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", e.Err())
+	}
+	// The cut is sticky.
+	if _, ok := e.Next(); ok {
+		t.Fatal("Next resumed after a cancelled pass")
+	}
+}
+
+// TestEnumerateCtxDeadline: an already-expired deadline refuses the pass
+// up front; a live context drains to ordinary exhaustion with a nil Err.
+func TestEnumerateCtxDeadline(t *testing.T) {
+	q := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	db := chainDB(16)
+	p, err := plan.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := p.Bind(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := pr.EnumerateCtx(expired, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EnumerateCtx on expired context: err = %v, want DeadlineExceeded", err)
+	}
+
+	e, err := pr.EnumerateCtx(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(delay.Collect(e))
+	if n == 0 {
+		t.Fatal("no answers from a live context")
+	}
+	if e.Err() != nil {
+		t.Fatalf("Err() = %v after ordinary exhaustion, want nil", e.Err())
+	}
+}

@@ -1,0 +1,85 @@
+package plan_test
+
+import (
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/delay"
+	"repro/internal/oracle"
+	"repro/internal/plan"
+)
+
+// TestRefreshArity0PartDelta pins the arity-0 refresher fix at the plan
+// layer: B(y) shares nothing with the head, so its subtree reduces to an
+// arity-0 part. Before the fix the installed ConstRefresher declined every
+// delta on such a shape and each Refresh after the first was a rebuild;
+// now single-tuple churn is absorbed as RefreshDelta.
+func TestRefreshArity0PartDelta(t *testing.T) {
+	q := mustCQ(t, "Q(x) :- A(x), B(y).")
+	db := database.NewDatabase()
+	a := database.NewRelation("A", 1)
+	for v := database.Value(1); v <= 5; v++ {
+		a.Insert(database.Tuple{v})
+	}
+	b := database.NewRelation("B", 1)
+	b.Insert(database.Tuple{7})
+	db.AddRelation(a)
+	db.AddRelation(b)
+
+	p, err := plan.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EnumerateEngine != plan.EngineConstantDelay {
+		t.Fatalf("expected the constant-delay route, got %v", p.EnumerateEngine)
+	}
+	pr, err := p.Bind(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(what string, wantKind plan.RefreshKind) {
+		t.Helper()
+		kind, err := pr.Refresh(nil)
+		if err != nil {
+			t.Fatalf("%s: Refresh: %v", what, err)
+		}
+		if kind != wantKind {
+			t.Fatalf("%s: RefreshKind = %v, want %v", what, kind, wantKind)
+		}
+		e, err := pr.Enumerate(nil)
+		if err != nil {
+			t.Fatalf("%s: Enumerate: %v", what, err)
+		}
+		got := delay.Collect(e)
+		want, err := oracle.Eval(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswers(got, want) {
+			t.Fatalf("%s: answers %v, oracle says %v", what, got, want)
+		}
+	}
+
+	// First mutation: rebuild-in-place installs the refresher.
+	db.Relation("B").Insert(database.Tuple{8})
+	check("first mutation", plan.RefreshRebind)
+
+	// From here on the arity-0 part absorbs churn incrementally — this is
+	// the step that regressed to RefreshRebind before the fix.
+	if !db.Relation("B").Delete(database.Tuple{8}) {
+		t.Fatal("Delete removed nothing")
+	}
+	check("delete second witness", plan.RefreshDelta)
+
+	if !db.Relation("B").Delete(database.Tuple{7}) {
+		t.Fatal("Delete removed nothing")
+	}
+	check("delete last witness (join dies)", plan.RefreshDelta)
+
+	db.Relation("B").Insert(database.Tuple{9})
+	check("revive the witness set", plan.RefreshDelta)
+
+	db.Relation("A").Insert(database.Tuple{6})
+	check("insert on the head-carrying part", plan.RefreshDelta)
+}

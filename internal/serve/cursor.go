@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+)
+
+// A cursor makes paginated enumeration stateless on the server: it pins the
+// plan fingerprint (so a cursor cannot be replayed against a different
+// query), the database generation it was minted at (so answers from two
+// generations are never stitched into one page), and the offset of the next
+// answer. The server keeps nothing per client — resuming after the cached
+// Prepared was evicted just re-binds, and the deterministic enumeration
+// order makes the offset meaningful again.
+//
+// Wire format: base64url( version | fp | gen | offset | mac ), fixed-width
+// big-endian uint64 fields and an HMAC-SHA256 tag truncated to 8 bytes
+// under a per-server key, so forged or corrupted cursors are rejected
+// before any of their fields are trusted.
+
+const (
+	cursorVersion = 1
+	cursorRawLen  = 1 + 8 + 8 + 8 + 8
+)
+
+var (
+	errCursorMalformed = errors.New("serve: malformed cursor")
+	errCursorForged    = errors.New("serve: cursor failed authentication")
+)
+
+type cursor struct {
+	fp     uint64
+	gen    uint64
+	offset uint64
+}
+
+func cursorMAC(key, raw []byte) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(raw)
+	return m.Sum(nil)[:8]
+}
+
+func encodeCursor(key []byte, c cursor) string {
+	raw := make([]byte, cursorRawLen)
+	raw[0] = cursorVersion
+	binary.BigEndian.PutUint64(raw[1:], c.fp)
+	binary.BigEndian.PutUint64(raw[9:], c.gen)
+	binary.BigEndian.PutUint64(raw[17:], c.offset)
+	copy(raw[25:], cursorMAC(key, raw[:25]))
+	return base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// maxCursorLen bounds the encoded form well above the legitimate size
+// (45 bytes) so oversized inputs are refused before base64 work.
+const maxCursorLen = 128
+
+func decodeCursor(key []byte, s string) (cursor, error) {
+	if len(s) > maxCursorLen {
+		return cursor{}, errCursorMalformed
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil || len(raw) != cursorRawLen || raw[0] != cursorVersion {
+		return cursor{}, errCursorMalformed
+	}
+	if !hmac.Equal(raw[25:], cursorMAC(key, raw[:25])) {
+		return cursor{}, errCursorForged
+	}
+	return cursor{
+		fp:     binary.BigEndian.Uint64(raw[1:]),
+		gen:    binary.BigEndian.Uint64(raw[9:]),
+		offset: binary.BigEndian.Uint64(raw[17:]),
+	}, nil
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// metrics is the server's live instrumentation: request counts per
+// endpoint, admission/backpressure outcomes, and an end-to-end request
+// latency histogram (the same lock-free log₂ histogram the delay
+// instrumentation uses, so expvar exposes the serving p99 next to the
+// enumeration-delay p99).
+type metrics struct {
+	requests        sync.Map // endpoint → *atomic.Int64
+	inflight        atomic.Int64
+	rejected        atomic.Int64 // 429s from admission control
+	badRequests     atomic.Int64
+	staleCursors    atomic.Int64 // 410s: cursor generation behind the database
+	deadlineExpired atomic.Int64
+	staleRetries    atomic.Int64 // ErrStalePlan recoveries (expected: 0 under the lock discipline)
+	answersServed   atomic.Int64
+	latency         *obs.Histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{latency: &obs.Histogram{}}
+}
+
+func (m *metrics) count(endpoint string) {
+	c, ok := m.requests.Load(endpoint)
+	if !ok {
+		c, _ = m.requests.LoadOrStore(endpoint, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// Stats is a point-in-time snapshot of the server, JSON-shaped for the
+// /v1/stats endpoint and for expvar. Latencies are nanoseconds.
+type Stats struct {
+	Generation      uint64           `json:"generation"`
+	Inflight        int64            `json:"inflight"`
+	Requests        map[string]int64 `json:"requests"`
+	Rejected        int64            `json:"rejected_429"`
+	BadRequests     int64            `json:"bad_requests"`
+	StaleCursors    int64            `json:"stale_cursors"`
+	DeadlineExpired int64            `json:"deadline_expired"`
+	StaleRetries    int64            `json:"stale_plan_retries"`
+	AnswersServed   int64            `json:"answers_served"`
+	CacheHits       uint64           `json:"cache_hits"`
+	CacheMisses     uint64           `json:"cache_misses"`
+	CacheRefreshes  uint64           `json:"cache_refreshes"`
+	CacheLen        int              `json:"cache_len"`
+	LatencyP50NS    int64            `json:"latency_p50_ns"`
+	LatencyP99NS    int64            `json:"latency_p99_ns"`
+	LatencyMaxNS    int64            `json:"latency_max_ns"`
+	LatencyCount    int64            `json:"latency_count"`
+}
+
+// Stats snapshots the server's counters, cache statistics, and latency
+// quantiles.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Generation:      s.db.Generation(),
+		Inflight:        s.m.inflight.Load(),
+		Requests:        map[string]int64{},
+		Rejected:        s.m.rejected.Load(),
+		BadRequests:     s.m.badRequests.Load(),
+		StaleCursors:    s.m.staleCursors.Load(),
+		DeadlineExpired: s.m.deadlineExpired.Load(),
+		StaleRetries:    s.m.staleRetries.Load(),
+		AnswersServed:   s.m.answersServed.Load(),
+		CacheRefreshes:  s.cache.Refreshes(),
+		CacheLen:        s.cache.Len(),
+		LatencyP50NS:    s.m.latency.Quantile(0.5),
+		LatencyP99NS:    s.m.latency.Quantile(0.99),
+		LatencyMaxNS:    s.m.latency.Max(),
+		LatencyCount:    s.m.latency.Count(),
+	}
+	st.CacheHits, st.CacheMisses = s.cache.Stats()
+	s.m.requests.Range(func(k, v interface{}) bool {
+		st.Requests[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return st
+}
+
+var (
+	pubMu  sync.Mutex
+	pubSrv = map[string]*Server{}
+)
+
+// Publish exposes the server's Stats as the expvar variable `name`
+// (reachable via /debug/vars). Like obs.Observer.Publish it is re-entrant:
+// publishing a second server under the same name replaces the first
+// instead of panicking, which keeps tests that build many servers safe.
+func (s *Server) Publish(name string) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if _, ok := pubSrv[name]; !ok {
+		n := name
+		expvar.Publish(n, expvar.Func(func() interface{} {
+			pubMu.Lock()
+			cur := pubSrv[n]
+			pubMu.Unlock()
+			return cur.Stats()
+		}))
+	}
+	pubSrv[name] = s
+}

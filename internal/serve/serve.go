@@ -1,0 +1,580 @@
+// Package serve implements qservd's HTTP/JSON query-serving layer: prepared
+// statements from a shared plan.Cache served to concurrent clients over a
+// mutable database.
+//
+// The concurrency discipline is the one TestCacheRaceStress pins down at the
+// plan layer: every query request holds a read lock on the database for its
+// whole probe+execute window, and every mutation holds the write lock. Under
+// the read lock the generation cannot move, so a cache probe hands back a
+// Prepared that is fresh for the entire execution; ErrStalePlan is therefore
+// unreachable in steady state, but the handlers still recover from it with a
+// bounded re-probe as defense in depth.
+//
+// Enumeration is paginated behind opaque resumable cursors (see cursor.go).
+// The server keeps no per-client state: a cursor is fingerprint + generation
+// + offset, and the deterministic enumeration order of every engine makes
+// the offset meaningful across requests — even after the cached Prepared
+// was evicted and transparently re-bound. On the constant-delay route pages
+// are served via the random-access engine's Get(i), so a page at offset k
+// costs O(limit · log n) instead of O(k + limit).
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/plan"
+)
+
+// Config tunes the server. Zero values select the defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted requests; excess requests
+	// are rejected immediately with 429 (open-loop clients must see
+	// backpressure, not queueing). Default 64.
+	MaxInFlight int
+	// DefaultDeadline is the per-request execution budget when the request
+	// does not carry deadline_ms. Default 5s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines. Default 30s.
+	MaxDeadline time.Duration
+	// MaxBodyBytes bounds request bodies. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxPageSize caps (and defaults) the enumerate page size. Default 1024.
+	MaxPageSize int
+	// MaxPrepared bounds the plan cache's prepared-statement set (LRU).
+	// Default 256.
+	MaxPrepared int
+	// CursorKey authenticates cursors. Nil draws a random per-server key;
+	// tests inject a fixed key to exercise forgery handling.
+	CursorKey []byte
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxPageSize <= 0 {
+		c.MaxPageSize = 1024
+	}
+	if c.MaxPrepared <= 0 {
+		c.MaxPrepared = 256
+	}
+	if len(c.CursorKey) == 0 {
+		key := make([]byte, 32)
+		if _, err := rand.Read(key); err != nil {
+			panic(fmt.Sprintf("serve: cannot draw cursor key: %v", err))
+		}
+		c.CursorKey = key
+	}
+	return c
+}
+
+// Server serves prepared-statement queries over one database.
+type Server struct {
+	cfg   Config
+	db    *database.Database
+	dict  *database.Dictionary
+	cache *plan.Cache
+	dbMu  sync.RWMutex // read: query execution; write: mutation
+	sem   chan struct{}
+	m     *metrics
+}
+
+// New builds a Server over db. dict may be nil (numeric constants only).
+func New(db *database.Database, dict *database.Dictionary, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cache := plan.NewCache()
+	cache.SetMaxPrepared(cfg.MaxPrepared)
+	return &Server{
+		cfg:   cfg,
+		db:    db,
+		dict:  dict,
+		cache: cache,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		m:     newMetrics(),
+	}
+}
+
+// Cache exposes the plan cache (tests inspect hit/refresh counters).
+func (s *Server) Cache() *plan.Cache { return s.cache }
+
+// Handler returns the HTTP mux: the /v1 query protocol plus health and
+// stats. expvar/pprof wiring is left to the daemon binary, which mounts
+// this next to the default serve mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/prepare", s.guard("prepare", s.handlePrepare))
+	mux.HandleFunc("POST /v1/decide", s.guard("decide", s.handleDecide))
+	mux.HandleFunc("POST /v1/count", s.guard("count", s.handleCount))
+	mux.HandleFunc("POST /v1/enumerate", s.guard("enumerate", s.handleEnumerate))
+	mux.HandleFunc("POST /v1/mutate", s.guard("mutate", s.handleMutate))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok", "generation": s.db.Generation()})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// guard is the admission wrapper: bounded concurrency with immediate 429
+// on saturation, in-flight accounting, and end-to-end latency recording.
+func (s *Server) guard(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.m.rejected.Add(1)
+			writeError(w, http.StatusTooManyRequests, "overloaded", "max in-flight requests reached")
+			return
+		}
+		defer func() { <-s.sem }()
+		s.m.count(endpoint)
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+		start := time.Now()
+		h(w, r)
+		s.m.latency.Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// ---- request/response wire types ----
+
+type queryRequest struct {
+	Query string `json:"query"`
+	// Enumerate only:
+	Cursor string `json:"cursor,omitempty"`
+	Limit  int    `json:"limit,omitempty"`
+	Stream bool   `json:"stream,omitempty"`
+	// Optional per-request deadline override, capped by MaxDeadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+type mutateRequest struct {
+	Pred  string  `json:"pred"`
+	Op    string  `json:"op"` // "insert" | "delete"
+	Tuple []int64 `json:"tuple"`
+}
+
+type errorBody struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, detail string) {
+	writeJSON(w, status, errorBody{Error: code, Detail: detail})
+}
+
+// decodeBody parses a JSON request body under the configured size cap.
+func decodeBody(s *Server, w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return false
+	}
+	return true
+}
+
+// parseQuery turns request text into a CQ, counting malformed input.
+func (s *Server) parseQuery(w http.ResponseWriter, src string) (*logic.CQ, bool) {
+	if src == "" {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request", "empty query")
+		return nil, false
+	}
+	q, err := logic.ParseCQ(src)
+	if err != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
+		return nil, false
+	}
+	return q, true
+}
+
+// deadline derives the request context: the client's deadline_ms if given
+// (capped), else the configured default.
+func (s *Server) deadline(r *http.Request, req *queryRequest) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if req != nil && req.DeadlineMS > 0 {
+		d = time.Duration(req.DeadlineMS) * time.Millisecond
+		if d > s.cfg.MaxDeadline {
+			d = s.cfg.MaxDeadline
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// withPrepared probes the cache and runs fn, re-probing on ErrStalePlan.
+// The caller must hold the database read lock; the retry loop is defense
+// in depth (see the package comment).
+func (s *Server) withPrepared(q *logic.CQ, fn func(pr *plan.Prepared) error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		var pr *plan.Prepared
+		pr, err = s.cache.Prepare(q, s.db)
+		if err != nil {
+			return err
+		}
+		err = fn(pr)
+		if !errors.Is(err, plan.ErrStalePlan) {
+			return err
+		}
+		s.m.staleRetries.Add(1)
+	}
+	return err
+}
+
+// ---- handlers ----
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(s, w, r, &req) {
+		return
+	}
+	q, ok := s.parseQuery(w, req.Query)
+	if !ok {
+		return
+	}
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	err := s.withPrepared(q, func(pr *plan.Prepared) error {
+		p := pr.Plan()
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"fingerprint": fmt.Sprintf("%016x", p.Fingerprint()),
+			"engines": map[string]plan.Engine{
+				"decide":    p.DecideEngine,
+				"count":     p.CountEngine,
+				"enumerate": p.EnumerateEngine,
+			},
+			"generation": pr.Generation(),
+		})
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+	}
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(s, w, r, &req) {
+		return
+	}
+	q, ok := s.parseQuery(w, req.Query)
+	if !ok {
+		return
+	}
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	err := s.withPrepared(q, func(pr *plan.Prepared) error {
+		ans, err := pr.Decide(nil)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"answer":     ans,
+			"generation": pr.Generation(),
+		})
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+	}
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(s, w, r, &req) {
+		return
+	}
+	q, ok := s.parseQuery(w, req.Query)
+	if !ok {
+		return
+	}
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	err := s.withPrepared(q, func(pr *plan.Prepared) error {
+		n, err := pr.Count(nil)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"count":      n.String(),
+			"generation": pr.Generation(),
+		})
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+	}
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req mutateRequest
+	if !decodeBody(s, w, r, &req) {
+		return
+	}
+	t := make(database.Tuple, len(req.Tuple))
+	for i, v := range req.Tuple {
+		t[i] = database.Value(v)
+	}
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	rel := s.db.Relation(req.Pred)
+	if rel == nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusNotFound, "unknown_relation", req.Pred)
+		return
+	}
+	var applied bool
+	switch req.Op {
+	case "insert":
+		if err := rel.InsertBatch([]database.Tuple{t}); err != nil {
+			s.m.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_tuple", err.Error())
+			return
+		}
+		applied = true
+	case "delete":
+		applied = rel.Delete(t)
+	default:
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown op %q", req.Op))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"applied":    applied,
+		"generation": s.db.Generation(),
+	})
+}
+
+// ---- enumeration: pages, cursors, streaming ----
+
+func tupleInts(t database.Tuple) []int64 {
+	out := make([]int64, len(t))
+	for i, v := range t {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(s, w, r, &req) {
+		return
+	}
+	q, ok := s.parseQuery(w, req.Query)
+	if !ok {
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > s.cfg.MaxPageSize {
+		limit = s.cfg.MaxPageSize
+	}
+	ctx, cancel := s.deadline(r, &req)
+	defer cancel()
+
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	gen := s.db.Generation()
+
+	err := s.withPrepared(q, func(pr *plan.Prepared) error {
+		var offset uint64
+		if req.Cursor != "" {
+			cur, err := decodeCursor(s.cfg.CursorKey, req.Cursor)
+			if err != nil {
+				s.m.badRequests.Add(1)
+				writeError(w, http.StatusBadRequest, "bad_cursor", err.Error())
+				return nil
+			}
+			if cur.fp != pr.Plan().Fingerprint() {
+				s.m.badRequests.Add(1)
+				writeError(w, http.StatusBadRequest, "cursor_mismatch",
+					"cursor was minted for a different query")
+				return nil
+			}
+			if cur.gen != gen {
+				// The database moved under the client's pagination. The
+				// cursor is dead; the client restarts against the current
+				// generation (the cache entry has been refreshed in place,
+				// so the restart is a warm probe, not a rebuild).
+				s.m.staleCursors.Add(1)
+				writeError(w, http.StatusGone, "stale_cursor",
+					fmt.Sprintf("cursor generation %d, database at %d", cur.gen, gen))
+				return nil
+			}
+			offset = cur.offset
+		}
+		if req.Stream {
+			return s.streamAnswers(ctx, w, pr, offset)
+		}
+		return s.servePage(ctx, w, pr, gen, offset, limit)
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.m.deadlineExpired.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+	}
+}
+
+// servePage writes one page of answers starting at offset. On the
+// constant-delay route pages are random-accessed in O(limit · log n); the
+// other engines re-enumerate and skip, which is linear in the offset but
+// still one pass per page.
+func (s *Server) servePage(ctx context.Context, w http.ResponseWriter, pr *plan.Prepared, gen, offset uint64, limit int) error {
+	answers, done, err := s.page(ctx, pr, offset, limit)
+	if err != nil {
+		return err
+	}
+	resp := map[string]interface{}{
+		"answers":    answers,
+		"done":       done,
+		"generation": gen,
+	}
+	if !done {
+		resp["next_cursor"] = encodeCursor(s.cfg.CursorKey, cursor{
+			fp:     pr.Plan().Fingerprint(),
+			gen:    gen,
+			offset: offset + uint64(len(answers)),
+		})
+	}
+	s.m.answersServed.Add(int64(len(answers)))
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// page extracts answers [offset, offset+limit) in the engine's
+// deterministic order and reports whether the enumeration is exhausted.
+func (s *Server) page(ctx context.Context, pr *plan.Prepared, offset uint64, limit int) ([][]int64, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	// Fast path: random access over the constant-delay route.
+	if pr.Plan().EnumerateEngine == plan.EngineConstantDelay {
+		if ra, err := pr.NewRandomAccess(nil); err == nil {
+			total := ra.Count()
+			if !total.IsInt64() {
+				return nil, false, fmt.Errorf("serve: answer count %s overflows pagination", total.String())
+			}
+			n := total.Int64()
+			answers := make([][]int64, 0, limit)
+			for i := int64(offset); i < n && len(answers) < limit; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, false, err
+				}
+				t, err := ra.GetInt(i)
+				if err != nil {
+					return nil, false, err
+				}
+				answers = append(answers, tupleInts(t))
+			}
+			return answers, int64(offset)+int64(len(answers)) >= n, nil
+		}
+		// Random access can refuse (e.g. comparisons); fall through to the
+		// enumerator path, staleness included in its error surface.
+	}
+	e, err := pr.EnumerateCtx(ctx, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	for skipped := uint64(0); skipped < offset; skipped++ {
+		if _, ok := e.Next(); !ok {
+			return nil, e.Err() == nil, e.Err()
+		}
+	}
+	answers := make([][]int64, 0, limit)
+	done := false
+	for len(answers) < limit {
+		t, ok := e.Next()
+		if !ok {
+			if err := e.Err(); err != nil {
+				return nil, false, err
+			}
+			done = true
+			break
+		}
+		answers = append(answers, tupleInts(t))
+	}
+	if !done {
+		// Peek one ahead so the last full page reports done without an
+		// extra round trip.
+		if _, ok := e.Next(); !ok {
+			if err := e.Err(); err != nil {
+				return nil, false, err
+			}
+			done = true
+		}
+	}
+	return answers, done, nil
+}
+
+// streamAnswers writes newline-delimited JSON, one answer per line, then a
+// final summary line. A deadline expiring mid-stream cuts the stream at an
+// answer boundary with an error line — the enumeration is synchronous in
+// this handler, so cancellation leaks nothing.
+func (s *Server) streamAnswers(ctx context.Context, w http.ResponseWriter, pr *plan.Prepared, offset uint64) error {
+	e, err := pr.EnumerateCtx(ctx, nil)
+	if err != nil {
+		return err
+	}
+	for skipped := uint64(0); skipped < offset; skipped++ {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	var n int64
+	for {
+		t, ok := e.Next()
+		if !ok {
+			break
+		}
+		enc.Encode(map[string]interface{}{"answer": tupleInts(t)})
+		n++
+		if flusher != nil && n%64 == 0 {
+			flusher.Flush()
+		}
+	}
+	s.m.answersServed.Add(n)
+	if err := e.Err(); err != nil {
+		// Headers are out; report the cut in-band.
+		s.m.deadlineExpired.Add(1)
+		enc.Encode(errorBody{Error: "deadline_exceeded", Detail: err.Error()})
+		return nil
+	}
+	enc.Encode(map[string]interface{}{"done": true, "count": n})
+	return nil
+}

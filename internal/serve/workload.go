@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/qgen"
+)
+
+// Workload is a seeded serving workload: a mix of queries over one shared
+// database plus a replayable mutation script. qservd -gen and qload -seed
+// both call this with the same seed, so the traffic generator knows the
+// exact queries, relations, and tuples the daemon is serving without any
+// out-of-band coordination — the seed IS the contract.
+type Workload struct {
+	Seed      int64
+	Queries   []*logic.CQ
+	DB        *database.Database
+	Mutations []qgen.Mutation
+}
+
+// NewWorkload derives a workload deterministically from the seed:
+// nQueries generated queries (alternating free-connex and general acyclic
+// shapes, so both the constant-delay and linear-delay serving routes see
+// traffic), a database covering all of them, and nMutations single-tuple
+// updates. Each query's predicates are namespaced (q0_R1, q1_R0, …)
+// because the generator draws names from a shared pool with per-query
+// arities.
+func NewWorkload(seed int64, nQueries, nMutations int) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := qgen.Default()
+	var queries []*logic.CQ
+	for len(queries) < nQueries {
+		var q *logic.CQ
+		if len(queries)%2 == 0 {
+			q = qgen.FreeConnexCQ(rng, cfg)
+		} else {
+			q = qgen.AcyclicCQ(rng, cfg)
+		}
+		if len(q.Head) == 0 {
+			continue
+		}
+		for j := range q.Atoms {
+			q.Atoms[j].Pred = fmt.Sprintf("q%d_%s", len(queries), q.Atoms[j].Pred)
+		}
+		queries = append(queries, q)
+	}
+	db := qgen.DatabaseFor(rng, cfg, queries...)
+	return &Workload{
+		Seed:      seed,
+		Queries:   queries,
+		DB:        db,
+		Mutations: qgen.MutationScript(rng, cfg, db, nMutations),
+	}
+}
