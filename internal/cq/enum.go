@@ -158,6 +158,35 @@ type OdometerCore struct {
 // answers the decision problem without any further work.
 func (oc *OdometerCore) NonEmpty() bool { return !oc.dead && len(oc.root) > 0 }
 
+// IndexWaste totals the abandoned row slots across the spine's probe
+// indexes — the layout degradation accumulated by incremental refreshes
+// (ConstRefresher patches the indexes in place).
+func (oc *OdometerCore) IndexWaste() int {
+	w := 0
+	for _, ix := range oc.idx {
+		if ix != nil {
+			w += ix.Waste()
+		}
+	}
+	return w
+}
+
+// CompactIndexes rebuilds the row layout of every spine index whose waste
+// is at least minWaste slots, returning the total number of slots
+// reclaimed. Row ids are unchanged, so refresher bookkeeping keyed on slab
+// rows stays valid; compaction is safe concurrently with enumeration
+// (database.Index.Compact swaps the layout atomically) but must be
+// serialized with Refresh like any other spine patching.
+func (oc *OdometerCore) CompactIndexes(minWaste int) int {
+	total := 0
+	for _, ix := range oc.idx {
+		if ix != nil && ix.Waste() >= minWaste {
+			total += ix.Compact()
+		}
+	}
+	return total
+}
+
 // Cursor starts a fresh enumeration pass over the core. Cursors are
 // independent: each holds its own positions, buckets, and output buffer,
 // ticking c only for the constant-delay cursor moves (never for the

@@ -86,6 +86,54 @@ func BenchmarkSemijoin(b *testing.B) {
 	}
 }
 
+// BenchmarkSemijoinScalar and BenchmarkSemijoinBatch measure the same
+// warm semijoin (index and slab prebuilt, probe pass + output assembly
+// timed) on the scalar and the vectorized kernel; their ratio is the
+// batching speedup that E22 sweeps across data shapes.
+func BenchmarkSemijoinScalar(b *testing.B) {
+	r := benchRelation("R", 1, benchN, benchDom)
+	s := benchRelation("S", 2, benchN, benchDom)
+	s.IndexOn([]int{0})
+	b.SetBytes(int64(r.Len() + s.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		database.SemijoinScalar(r, []int{1}, s, []int{0})
+	}
+}
+
+func BenchmarkSemijoinBatch(b *testing.B) {
+	r := benchRelation("R", 1, benchN, benchDom)
+	s := benchRelation("S", 2, benchN, benchDom)
+	s.IndexOn([]int{0})
+	b.SetBytes(int64(r.Len() + s.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		database.Semijoin(r, []int{1}, s, []int{0})
+	}
+}
+
+// BenchmarkLookupBatch pins the warm batched probe path itself: tables and
+// scratch buffers prebuilt, zero allocs/op (the batch analogue of
+// BenchmarkLookup's pinned scalar probe).
+func BenchmarkLookupBatch(b *testing.B) {
+	r := benchRelation("R", 1, benchN, benchDom)
+	s := benchRelation("S", 2, benchN, benchDom)
+	ix := s.IndexOn([]int{0})
+	sl := r.Slab()
+	sc := database.GetScratch()
+	defer sc.Release()
+	cols := []int{1}
+	ix.ContainsBatch(sl, cols, sc.Iota(r.Len()), sc) // warm tables and buffers
+	b.SetBytes(int64(r.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.ContainsBatch(sl, cols, sc.Iota(r.Len()), sc)
+	}
+}
+
 func BenchmarkSemijoinPar(b *testing.B) {
 	r := benchRelation("R", 1, benchN, benchDom)
 	s := benchRelation("S", 2, benchN, benchDom)

@@ -327,7 +327,7 @@ func (r *Relation) indexOn(cols []int, par int) *Index {
 	if par < 2 || len(r.Tuples) < 1024 {
 		par = 1
 	}
-	ix := buildIndex(r.Tuples, cols, r.slabLocked(), par, defaultKeyHash)
+	ix := buildIndex(r.Tuples, cols, r.slabLocked(), par, nil)
 	if packed {
 		if r.indexes == nil {
 			r.indexes = make(map[uint64]*Index)
@@ -390,12 +390,65 @@ func (r *Relation) Select(name string, pred func(Tuple) bool) *Relation {
 	return out
 }
 
+// batchKernels gates the vectorized probe kernels (see batch.go) inside
+// Semijoin, ParSemijoin, and Join. On by default; the step-identity and
+// differential suites flip it off to run the whole engine through the
+// scalar oracle path.
+var batchKernels atomic.Bool
+
+func init() { batchKernels.Store(true) }
+
+// SetBatchKernels enables or disables the batched probe kernels process-
+// wide and returns the previous setting. Scalar and batched execution
+// produce bit-identical results (same tuples, same order, same counted
+// steps); the toggle exists so differential tests can prove it.
+func SetBatchKernels(on bool) bool {
+	prev := batchKernels.Load()
+	batchKernels.Store(on)
+	return prev
+}
+
 // Semijoin keeps the tuples of r that agree with at least one tuple of s on
 // the given column pairs (rCols[i] of r must equal sCols[i] of s). This is
 // the workhorse of the Yannakakis full reducer (Theorem 4.2).
 func Semijoin(r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
-	ix := s.IndexOn(sCols)
+	return semijoinProbe(r, rCols, s.IndexOn(sCols))
+}
+
+// SemijoinScalar is Semijoin on the scalar probe path regardless of the
+// batch-kernel toggle: one hash, one bucket walk, one comparison per
+// probe. It is the oracle of the scalar≡batched differential suite.
+func SemijoinScalar(r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
+	return semijoinScalarProbe(r, rCols, s.IndexOn(sCols))
+}
+
+// semijoinProbe dispatches one probe pass over r against a prebuilt index.
+func semijoinProbe(r *Relation, rCols []int, ix *Index) *Relation {
+	if !batchKernels.Load() {
+		return semijoinScalarProbe(r, rCols, ix)
+	}
 	out := NewRelation(r.Name, r.Arity)
+	n := len(r.Tuples)
+	if n == 0 {
+		return out
+	}
+	sl := r.Slab()
+	sc := GetScratch()
+	ids := ix.ContainsBatch(sl, rCols, sc.Iota(n), sc)
+	out.Tuples = make([]Tuple, len(ids))
+	for i, id := range ids {
+		out.Tuples[i] = r.Tuples[id]
+	}
+	sc.Release()
+	return out
+}
+
+func semijoinScalarProbe(r *Relation, rCols []int, ix *Index) *Relation {
+	out := NewRelation(r.Name, r.Arity)
+	if len(r.Tuples) == 0 {
+		return out
+	}
+	out.Tuples = make([]Tuple, 0, len(r.Tuples))
 	for _, t := range r.Tuples {
 		if ix.Contains(t, rCols) {
 			out.Tuples = append(out.Tuples, t)
@@ -410,19 +463,22 @@ func Semijoin(r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
 // input order), so parallel and sequential engines are diff-testable.
 func ParSemijoin(r *Relation, rCols []int, s *Relation, sCols []int, par int) *Relation {
 	if par < 2 || len(r.Tuples) < 1024 {
-		ix := s.ParIndexOn(sCols, par)
-		out := NewRelation(r.Name, r.Arity)
-		for _, t := range r.Tuples {
-			if ix.Contains(t, rCols) {
-				out.Tuples = append(out.Tuples, t)
-			}
+		// A single-worker call probes the relation's shared sequential
+		// index; sharding the build buys nothing at this size.
+		if par < 2 {
+			return semijoinProbe(r, rCols, s.IndexOn(sCols))
 		}
-		return out
+		return semijoinProbe(r, rCols, s.ParIndexOn(sCols, par))
 	}
 	ix := s.ParIndexOn(sCols, par)
+	batched := batchKernels.Load()
 	chunk := (len(r.Tuples) + par - 1) / par
 	parts := make([][]Tuple, par)
 	var wg sync.WaitGroup
+	var sl Slab
+	if batched {
+		sl = r.Slab()
+	}
 	for w := 0; w < par; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -435,7 +491,18 @@ func ParSemijoin(r *Relation, rCols []int, s *Relation, sCols []int, par int) *R
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			var keep []Tuple
+			if batched {
+				sc := GetScratch()
+				ids := ix.ContainsBatch(sl, rCols, sc.IotaRange(lo, hi), sc)
+				keep := make([]Tuple, len(ids))
+				for i, id := range ids {
+					keep[i] = r.Tuples[id]
+				}
+				sc.Release()
+				parts[w] = keep
+				return
+			}
+			keep := make([]Tuple, 0, hi-lo)
 			for _, t := range r.Tuples[lo:hi] {
 				if ix.Contains(t, rCols) {
 					keep = append(keep, t)
@@ -446,16 +513,20 @@ func ParSemijoin(r *Relation, rCols []int, s *Relation, sCols []int, par int) *R
 	}
 	wg.Wait()
 	out := NewRelation(r.Name, r.Arity)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out.Tuples = make([]Tuple, 0, total)
 	for _, p := range parts {
 		out.Tuples = append(out.Tuples, p...)
 	}
 	return out
 }
 
-// Join computes the natural join of r and s on the given column pairs. The
-// result columns are all of r's columns followed by s's columns not in sCols.
-func Join(name string, r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
-	ix := s.IndexOn(sCols)
+// joinKeepCols returns the columns of s carried into the join output: all
+// of s's columns not already matched by sCols.
+func joinKeepCols(s *Relation, sCols []int) []int {
 	skip := make(map[int]bool, len(sCols))
 	for _, c := range sCols {
 		skip[c] = true
@@ -466,7 +537,77 @@ func Join(name string, r *Relation, rCols []int, s *Relation, sCols []int) *Rela
 			keep = append(keep, c)
 		}
 	}
+	return keep
+}
+
+// Join computes the natural join of r and s on the given column pairs. The
+// result columns are all of r's columns followed by s's columns not in sCols.
+func Join(name string, r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
+	if !batchKernels.Load() {
+		return JoinScalar(name, r, rCols, s, sCols)
+	}
+	ix := s.IndexOn(sCols)
+	keep := joinKeepCols(s, sCols)
 	out := NewRelation(name, r.Arity+len(keep))
+	n := len(r.Tuples)
+	if n == 0 {
+		return out
+	}
+	out.Tuples = make([]Tuple, 0, n)
+	sl := r.Slab()
+	sc := GetScratch()
+	st := ix.tables()
+	sc.epoch++
+	// The probe loop is LookupBatch inlined (an emit closure on this hot
+	// path costs an indirect call per matching probe); output tuples are
+	// sliced off arena chunks instead of allocated one by one.
+	ar := out.Arity
+	const arenaRows = 1024
+	var arena []Value
+	for lo := 0; lo < n; lo += probeBatch {
+		hi := lo + probeBatch
+		if hi > n {
+			hi = n
+		}
+		batch := sc.IotaRange(lo, hi)
+		fps := sc.fps[:len(batch)]
+		ix.hashRows(sl, rCols, batch, fps)
+		for i, id := range batch {
+			ids := sc.bucket(ix, st, sl, rCols, fps[i], id)
+			if len(ids) == 0 {
+				continue
+			}
+			t := r.Tuples[id]
+			for _, sid := range ids {
+				u := ix.Row(sid)
+				if len(arena) < ar {
+					arena = make([]Value, arenaRows*ar)
+				}
+				j := Tuple(arena[:ar:ar])
+				arena = arena[ar:]
+				copy(j, t)
+				w := j[len(t):]
+				for ci, c := range keep {
+					w[ci] = u[c]
+				}
+				out.Tuples = append(out.Tuples, j)
+			}
+		}
+	}
+	sc.Release()
+	return out
+}
+
+// JoinScalar is Join on the scalar probe path regardless of the batch-
+// kernel toggle — the oracle of the scalar≡batched differential suite.
+func JoinScalar(name string, r *Relation, rCols []int, s *Relation, sCols []int) *Relation {
+	ix := s.IndexOn(sCols)
+	keep := joinKeepCols(s, sCols)
+	out := NewRelation(name, r.Arity+len(keep))
+	if len(r.Tuples) == 0 {
+		return out
+	}
+	out.Tuples = make([]Tuple, 0, len(r.Tuples))
 	for _, t := range r.Tuples {
 		for _, id := range ix.Lookup(t, rCols) {
 			u := ix.Row(id)

@@ -17,6 +17,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Slab is a relation's frozen tuple storage: row i occupies
@@ -193,12 +194,27 @@ type shard struct {
 // many goroutines need no locking, and the probe path performs zero
 // allocations.
 type Index struct {
-	Cols   []int
-	slab   Slab
-	hash   keyHashFunc
+	Cols  []int
+	slab  Slab
+	hash  keyHashFunc
+	fast  bool // hash is the default fingerprint, so Slab.HashCols applies
+	mask  uint32
+	waste int // row slots abandoned by AddRow relocations and RemoveRow shrinks
+
+	// state holds the bucket layout, plus the lazily built flat probe
+	// tables of the batch kernels, behind one atomic pointer: Compact and
+	// the lazy table build swap in a whole new layout while concurrent
+	// readers keep a consistent view of the old one.
+	state   atomic.Pointer[indexState]
+	tableMu sync.Mutex // serializes lazy table builds and Compact swaps
+}
+
+// indexState is one immutable-together snapshot of an index's layout.
+// tables (when non-nil) is derived from exactly these shards; bundling
+// them keeps a reader from pairing fresh tables with stale spans.
+type indexState struct {
 	shards []shard
-	mask   uint32
-	waste  int // row slots abandoned by AddRow relocations and RemoveRow shrinks
+	tables []probeTable // one per shard; nil until a batched probe builds them
 }
 
 // keyEq reports whether the indexed row's key columns equal the probe's
@@ -219,7 +235,7 @@ func (ix *Index) keyEq(row int32, probe Tuple, probeCols []int) bool {
 // garbage collected and must not be modified. Lookup allocates nothing.
 func (ix *Index) Lookup(probe Tuple, probeCols []int) []int32 {
 	fp := ix.hash(probe, probeCols)
-	sh := &ix.shards[uint32(fp)&ix.mask]
+	sh := &ix.state.Load().shards[uint32(fp)&ix.mask]
 	sp, ok := sh.buckets[fp]
 	if !ok {
 		return nil
@@ -255,10 +271,11 @@ func (ix *Index) Row(id int32) Tuple { return ix.slab.Row(id) }
 
 // Buckets returns the number of distinct keys in the index.
 func (ix *Index) Buckets() int {
+	shards := ix.state.Load().shards
 	n := 0
-	for i := range ix.shards {
-		n += len(ix.shards[i].buckets)
-		for _, sps := range ix.shards[i].overflow {
+	for i := range shards {
+		n += len(shards[i].buckets)
+		for _, sps := range shards[i].overflow {
 			n += len(sps)
 		}
 	}
@@ -267,8 +284,14 @@ func (ix *Index) Buckets() int {
 
 // buildIndex constructs the index over tuples (backed by sl) keyed on
 // cols, with the fingerprint pass and the shard builds fanned out over par
-// workers when par ≥ 2.
+// workers when par ≥ 2. A nil hash selects the default fingerprint
+// (Tuple.KeyHash) and additionally enables the batched slab-hashing
+// kernel; tests inject a degraded hash to force collisions.
 func buildIndex(tuples []Tuple, cols []int, sl Slab, par int, hash keyHashFunc) *Index {
+	fast := hash == nil
+	if fast {
+		hash = defaultKeyHash
+	}
 	if par > runtime.GOMAXPROCS(0) {
 		par = runtime.GOMAXPROCS(0)
 	}
@@ -307,25 +330,27 @@ func buildIndex(tuples []Tuple, cols []int, sl Slab, par int, hash keyHashFunc) 
 		wg.Wait()
 	}
 	ix := &Index{
-		Cols:   append([]int(nil), cols...),
-		slab:   sl,
-		hash:   hash,
-		shards: make([]shard, shardCount),
-		mask:   uint32(shardCount - 1),
+		Cols: append([]int(nil), cols...),
+		slab: sl,
+		hash: hash,
+		fast: fast,
+		mask: uint32(shardCount - 1),
 	}
+	shards := make([]shard, shardCount)
 	if shardCount == 1 {
-		ix.shards[0] = ix.buildShard(fps, 0)
-		return ix
+		shards[0] = ix.buildShard(fps, 0)
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < shardCount; s++ {
+			wg.Add(1)
+			go func(s uint32) {
+				defer wg.Done()
+				shards[s] = ix.buildShard(fps, s)
+			}(uint32(s))
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for s := 0; s < shardCount; s++ {
-		wg.Add(1)
-		go func(s uint32) {
-			defer wg.Done()
-			ix.shards[s] = ix.buildShard(fps, s)
-		}(uint32(s))
-	}
-	wg.Wait()
+	ix.state.Store(&indexState{shards: shards})
 	return ix
 }
 
@@ -453,13 +478,25 @@ func (ix *Index) SetSlab(s Slab) { ix.slab = s }
 // relocations and RemoveRow shrinks — a proxy for layout degradation.
 func (ix *Index) Waste() int { return ix.waste }
 
+// patchState returns the layout about to be patched in place, first
+// dropping any derived probe tables (their spans are about to go stale).
+// Callers are serialized with lookups per the patching contract above.
+func (ix *Index) patchState() *indexState {
+	st := ix.state.Load()
+	if st.tables != nil {
+		st = &indexState{shards: st.shards}
+		ix.state.Store(st)
+	}
+	return st
+}
+
 // AddRow routes slab row id into its bucket, creating the bucket if the
 // key is new. The row must already be present in the slab (SetSlab first
 // when it was just appended).
 func (ix *Index) AddRow(id int32) {
 	t := ix.slab.Row(id)
 	fp := ix.hash(t, ix.Cols)
-	sh := &ix.shards[uint32(fp)&ix.mask]
+	sh := &ix.patchState().shards[uint32(fp)&ix.mask]
 	sp, ok := sh.buckets[fp]
 	if !ok {
 		sh.rows = append(sh.rows, id)
@@ -507,7 +544,7 @@ func (ix *Index) appendToSpan(sh *shard, sp span, id int32) span {
 func (ix *Index) RemoveRow(id int32) bool {
 	t := ix.slab.Row(id)
 	fp := ix.hash(t, ix.Cols)
-	sh := &ix.shards[uint32(fp)&ix.mask]
+	sh := &ix.patchState().shards[uint32(fp)&ix.mask]
 	sp, ok := sh.buckets[fp]
 	if !ok {
 		return false
@@ -557,6 +594,64 @@ func (ix *Index) cutFromSpan(sh *shard, sp span, id int32) (span, bool) {
 		}
 	}
 	return sp, false
+}
+
+// Compact rebuilds every shard's row array with the buckets laid out
+// contiguously, reclaiming the slots abandoned by AddRow relocations and
+// RemoveRow shrinks. Row ids are untouched — only the CSR layout changes —
+// so refresher state keyed on slab rows stays valid. The rebuilt layout is
+// swapped in atomically: Compact is safe concurrently with lookups (in-
+// flight bucket slices keep aliasing the old row array, which stays
+// intact), but like AddRow/RemoveRow it must be serialized with other
+// patching; plan.Cache runs both under its own lock. Returns the number of
+// reclaimed slots.
+func (ix *Index) Compact() int {
+	if ix.waste == 0 {
+		return 0
+	}
+	ix.tableMu.Lock()
+	defer ix.tableMu.Unlock()
+	old := ix.state.Load().shards
+	shards := make([]shard, len(old))
+	for i := range old {
+		shards[i] = compactShard(&old[i])
+	}
+	reclaimed := ix.waste
+	ix.waste = 0
+	ix.state.Store(&indexState{shards: shards})
+	return reclaimed
+}
+
+// compactShard rewrites one shard's buckets into a dense row array.
+func compactShard(sh *shard) shard {
+	live := 0
+	for _, sp := range sh.buckets {
+		live += int(sp.n)
+	}
+	for _, sps := range sh.overflow {
+		for _, sp := range sps {
+			live += int(sp.n)
+		}
+	}
+	rows := make([]int32, 0, live)
+	buckets := make(map[uint64]span, len(sh.buckets))
+	for fp, sp := range sh.buckets {
+		buckets[fp] = span{int32(len(rows)), sp.n}
+		rows = append(rows, sh.rows[sp.off:sp.off+sp.n]...)
+	}
+	var overflow map[uint64][]span
+	if len(sh.overflow) > 0 {
+		overflow = make(map[uint64][]span, len(sh.overflow))
+		for fp, sps := range sh.overflow {
+			nsps := make([]span, len(sps))
+			for i, sp := range sps {
+				nsps[i] = span{int32(len(rows)), sp.n}
+				rows = append(rows, sh.rows[sp.off:sp.off+sp.n]...)
+			}
+			overflow[fp] = nsps
+		}
+	}
+	return shard{buckets: buckets, rows: rows, overflow: overflow}
 }
 
 // --- KeyMap -----------------------------------------------------------

@@ -86,7 +86,10 @@ func (c *Cache) SetMaxPrepared(n int) {
 
 // Sweep drops every cached statement whose database has mutated since it
 // was bound or refreshed, returning how many were dropped. Useful after a
-// bulk load, when catching the survivors up would be pure waste.
+// bulk load, when catching the survivors up would be pure waste. Surviving
+// statements get their spine indexes compacted (Prepared.CompactIndexes)
+// when incremental refreshes have degraded the bucket layout past the
+// threshold, so periodic sweeps also bound index waste under churn.
 func (c *Cache) Sweep() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -95,7 +98,9 @@ func (c *Cache) Sweep() int {
 		if e.gen != k.db.Generation() {
 			delete(c.prepared, k)
 			n++
+			continue
 		}
+		e.pr.CompactIndexes()
 	}
 	return n
 }

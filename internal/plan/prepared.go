@@ -75,6 +75,39 @@ type Prepared struct {
 	uRows []database.Tuple
 }
 
+// spineCompactMinWaste is the per-index waste (abandoned row slots) at
+// which CompactIndexes rebuilds a spine index's layout. Small enough that
+// sustained churn cannot degrade probe locality far, large enough that a
+// handful of refreshed rows never triggers a rebuild.
+const spineCompactMinWaste = 64
+
+// SpineWaste reports the abandoned row slots accumulated in the bound
+// spine's probe indexes by incremental refreshes — the layout degradation
+// CompactIndexes reclaims. Zero for statements without a patched spine.
+func (pr *Prepared) SpineWaste() int {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.constCore != nil {
+		return pr.constCore.IndexWaste()
+	}
+	return 0
+}
+
+// CompactIndexes rebuilds spine-index layouts whose waste crossed the
+// compaction threshold, returning the number of row slots reclaimed.
+// Compaction leaves row ids (and therefore refresher state) untouched and
+// is safe concurrently with in-flight enumerations; plan.Cache.Sweep calls
+// it on every surviving statement so sustained mutate/refresh loops keep
+// bounded waste without ever rebinding.
+func (pr *Prepared) CompactIndexes() int {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.constCore != nil {
+		return pr.constCore.CompactIndexes(spineCompactMinWaste)
+	}
+	return 0
+}
+
 // Bind runs the data-dependent preprocessing of p over db. See BindCounted.
 func (p *Plan) Bind(db *database.Database) (*Prepared, error) {
 	return p.BindCounted(db, nil)
