@@ -13,11 +13,23 @@
 //
 //	qload -addr http://127.0.0.1:8080 -seed 42 -rate 200 -duration 30s
 //	qload -rates 50,100,200,400,800 -duration 10s -json e21.json
+//	qload -handles -storm 200 -rate 200 -exp E23 -label queued -json e23.json
 //
 // With -rates it sweeps offered load and reports a throughput-vs-latency
 // curve; -json writes a qbench-style report (wall_ns = overall p99 latency)
 // that cmd/benchgate can gate in CI. Exit status is nonzero if any response
 // was malformed or unexpected.
+//
+// -handles switches the client to server-side prepared-statement handles:
+// each query is resolved once via /v1/prepare and subsequent requests send
+// the opaque handle instead of the query text, re-preparing when the server
+// answers 410 (handle evicted). -storm R overlays a cold-bind storm on the
+// main mix: R req/s of never-before-seen queries under a tight deadline,
+// each a guaranteed cold bind. Storm latencies are kept out of the overall
+// histogram, so wall_ns remains the p99 of the WARM traffic while the
+// storm rages — the E23 metric. Shed storm requests (503 bind_overloaded)
+// and expired deadlines (504) are counted as protocol outcomes, not
+// errors.
 package main
 
 import (
@@ -53,6 +65,13 @@ var (
 	page       = flag.Int("page", 64, "enumerate page size")
 	deadlineMS = flag.Int64("deadline-ms", 0, "per-request deadline_ms to send (0 = server default)")
 	jsonOut    = flag.String("json", "", "write a qbench-style JSON report here")
+
+	useHandles  = flag.Bool("handles", false, "use prepared-statement handles: prepare once per query, send the handle, re-prepare on 410")
+	stormRate   = flag.Float64("storm", 0, "cold-bind storm rate (req/s): fresh never-cached queries offered alongside the main mix")
+	stormDeadMS = flag.Int64("storm-deadline-ms", 25, "deadline_ms on storm requests (tight, so overload sheds instead of queueing)")
+	stormAtoms  = flag.Int("storm-atoms", 4, "join-chain length of each storm query (bind cost knob)")
+	expID       = flag.String("exp", "E21", "experiment ID prefix for the JSON report")
+	expLabel    = flag.String("label", "", "extra report ID tag (e.g. queued vs inline for E23)")
 )
 
 // classes in a fixed order for deterministic mix sampling and reporting.
@@ -63,10 +82,14 @@ type trialResult struct {
 	sent     int64
 	ok       int64
 	rejected int64 // 429 backpressure
-	stale    int64 // 410 stale cursors (expected under concurrent mutation)
+	stale    int64 // 410 stale cursors/handles (expected under mutation and eviction)
+	shed     int64 // 503 bind_overloaded: the bind lane shed the request
+	expired  int64 // 504 deadline_exceeded
+	stormOK  int64 // storm requests that bound and answered in time
 	errors   int64 // malformed or unexpected responses
 	elapsed  time.Duration
-	overall  *obs.Histogram
+	overall  *obs.Histogram // warm (main-mix) traffic only — never storm latencies
+	storm    *obs.Histogram
 	byClass  map[string]*obs.Histogram
 }
 
@@ -77,6 +100,12 @@ type loader struct {
 	weights []int
 	wsum    int
 	mutIdx  atomic.Int64
+
+	handleMu sync.Mutex
+	handles  []string // per-query statement handles, lazily prepared
+
+	stormSeq  atomic.Int64
+	stormPred string // binary predicate the storm chains over ("" = rename fallback)
 }
 
 func main() {
@@ -100,6 +129,26 @@ func main() {
 		wl:      wl,
 		weights: weights,
 		wsum:    wsum,
+		handles: make([]string, len(wl.Queries)),
+	}
+	// Storm queries chain over the workload's dedicated big relation so
+	// each cold bind costs real semijoin work while compile stays cheap;
+	// if a future workload drops it, fall back to any binary predicate the
+	// queries use (fresh fingerprints either way).
+	ld.stormPred = serve.StormRel
+	if wl.DB.Relation(serve.StormRel) == nil {
+		ld.stormPred = ""
+		for _, q := range wl.Queries {
+			for _, a := range q.Atoms {
+				if len(a.Args) == 2 {
+					ld.stormPred = a.Pred
+					break
+				}
+			}
+			if ld.stormPred != "" {
+				break
+			}
+		}
 	}
 
 	if err := ld.waitHealthy(10 * time.Second); err != nil {
@@ -119,19 +168,23 @@ func main() {
 		sweep = []float64{*rate}
 	}
 
-	fmt.Printf("qload: seed=%d queries=%d arrivals=%s mix=%s duration=%s\n",
-		*seed, *nQueries, *arrivals, *mix, *duration)
-	fmt.Printf("%10s %12s %10s %10s %10s %10s %10s %8s\n",
-		"offered", "achieved", "p50(ms)", "p99(ms)", "max(ms)", "429", "410", "errors")
+	fmt.Printf("qload: seed=%d queries=%d arrivals=%s mix=%s duration=%s handles=%v storm=%.0f/s\n",
+		*seed, *nQueries, *arrivals, *mix, *duration, *useHandles, *stormRate)
+	fmt.Printf("%10s %12s %10s %10s %10s %8s %8s %8s %8s %8s\n",
+		"offered", "achieved", "p50(ms)", "p99(ms)", "max(ms)", "429", "410", "503", "504", "errors")
 
 	var results []trialResult
 	for _, r := range sweep {
 		res := ld.runTrial(r, *duration)
 		results = append(results, res)
-		fmt.Printf("%10.0f %12.1f %10.2f %10.2f %10.2f %10d %10d %8d\n",
+		fmt.Printf("%10.0f %12.1f %10.2f %10.2f %10.2f %8d %8d %8d %8d %8d\n",
 			res.offered, float64(res.ok)/res.elapsed.Seconds(),
-			ms(res.overall.Quantile(0.5)), ms(res.overall.Quantile(0.99)), ms(res.overall.Max()),
-			res.rejected, res.stale, res.errors)
+			ms(res.overall.QuantileInterpolated(0.5)), ms(res.overall.QuantileInterpolated(0.99)), ms(res.overall.Max()),
+			res.rejected, res.stale, res.shed, res.expired, res.errors)
+		if *stormRate > 0 {
+			fmt.Printf("%10s   storm: ok=%d shed=%d expired=%d p99=%.2fms\n",
+				"", res.stormOK, res.shed, res.expired, ms(res.storm.QuantileInterpolated(0.99)))
+		}
 	}
 
 	if *jsonOut != "" {
@@ -199,6 +252,7 @@ func (ld *loader) runTrial(offered float64, d time.Duration) trialResult {
 	res := trialResult{
 		offered: offered,
 		overall: &obs.Histogram{},
+		storm:   &obs.Histogram{},
 		byClass: map[string]*obs.Histogram{},
 	}
 	for _, c := range classes {
@@ -228,11 +282,51 @@ func (ld *loader) runTrial(offered float64, d time.Duration) trialResult {
 				atomic.AddInt64(&res.rejected, 1)
 			case outcomeStale:
 				atomic.AddInt64(&res.stale, 1)
+			case outcomeShed:
+				atomic.AddInt64(&res.shed, 1)
+			case outcomeDeadline:
+				atomic.AddInt64(&res.expired, 1)
 			default:
 				atomic.AddInt64(&res.errors, 1)
 			}
 		}()
 		atomic.AddInt64(&res.sent, 1)
+	}
+
+	// Cold-bind storm: an independent open-loop arrival process of fresh
+	// queries. Its outcomes land in the shed/expired/storm counters and its
+	// latencies in the storm histogram only — the overall histogram stays a
+	// clean measurement of what the storm does to WARM traffic.
+	if *stormRate > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srng := rand.New(rand.NewSource(*seed*7_654_321 + 1))
+			for time.Now().Before(end) {
+				wg.Add(1)
+				atomic.AddInt64(&res.sent, 1)
+				go func() {
+					defer wg.Done()
+					t0 := time.Now()
+					oc := ld.stormRequest()
+					lat := time.Since(t0).Nanoseconds()
+					switch oc {
+					case outcomeOK:
+						atomic.AddInt64(&res.stormOK, 1)
+						res.storm.Observe(lat)
+					case outcomeRejected:
+						atomic.AddInt64(&res.rejected, 1)
+					case outcomeShed:
+						atomic.AddInt64(&res.shed, 1)
+					case outcomeDeadline:
+						atomic.AddInt64(&res.expired, 1)
+					default:
+						atomic.AddInt64(&res.errors, 1)
+					}
+				}()
+				time.Sleep(time.Duration(srng.ExpFloat64() / *stormRate * float64(time.Second)))
+			}
+		}()
 	}
 
 	switch *arrivals {
@@ -274,6 +368,8 @@ const (
 	outcomeOK outcome = iota
 	outcomeRejected
 	outcomeStale
+	outcomeShed
+	outcomeDeadline
 	outcomeError
 )
 
@@ -297,6 +393,10 @@ func (ld *loader) post(path string, body interface{}, out map[string]*json.RawMe
 		return resp.StatusCode, outcomeRejected
 	case http.StatusGone:
 		return resp.StatusCode, outcomeStale
+	case http.StatusServiceUnavailable:
+		return resp.StatusCode, outcomeShed
+	case http.StatusGatewayTimeout:
+		return resp.StatusCode, outcomeDeadline
 	case http.StatusOK:
 		if err := json.Unmarshal(data, &out); err != nil {
 			return resp.StatusCode, outcomeError
@@ -307,47 +407,101 @@ func (ld *loader) post(path string, body interface{}, out map[string]*json.RawMe
 	}
 }
 
+// statementFields returns the request fields that name the statement: the
+// query text, or — in handle mode — the opaque handle from /v1/prepare.
+// The bool is false when a handle could not be prepared (caller gives up
+// on the request with the prepare outcome).
+func (ld *loader) statementFields(qi int) (map[string]interface{}, outcome) {
+	if !*useHandles {
+		return map[string]interface{}{"query": ld.wl.Queries[qi].String()}, outcomeOK
+	}
+	ld.handleMu.Lock()
+	h := ld.handles[qi]
+	ld.handleMu.Unlock()
+	if h == "" {
+		out := map[string]*json.RawMessage{}
+		_, oc := ld.post("/v1/prepare", map[string]interface{}{
+			"query": ld.wl.Queries[qi].String(),
+		}, out)
+		if oc != outcomeOK {
+			return nil, oc
+		}
+		if out["handle"] == nil || json.Unmarshal(*out["handle"], &h) != nil || h == "" {
+			return nil, outcomeError
+		}
+		ld.handleMu.Lock()
+		ld.handles[qi] = h
+		ld.handleMu.Unlock()
+	}
+	return map[string]interface{}{"handle": h}, outcomeOK
+}
+
+// dropHandle forgets a cached handle the server answered 410 for; the next
+// statementFields call re-prepares.
+func (ld *loader) dropHandle(qi int) {
+	ld.handleMu.Lock()
+	ld.handles[qi] = ""
+	ld.handleMu.Unlock()
+}
+
 // request performs one logical operation and validates the response shape.
 // For enumerate, `follow` continues pagination one extra page through the
 // returned cursor; a 410 on the follow-up (the database moved between the
 // pages) restarts the pagination once, which is the documented client
-// protocol for stale cursors.
+// protocol for stale cursors. In handle mode a 410 also invalidates the
+// cached handle (the server may have evicted the statement) and the
+// request retries once with a fresh prepare.
 func (ld *loader) request(class string, qi int, follow bool) outcome {
 	switch class {
 	case "decide", "count":
-		out := map[string]*json.RawMessage{}
-		_, oc := ld.post("/v1/"+class, map[string]interface{}{
-			"query":       ld.wl.Queries[qi].String(),
-			"deadline_ms": *deadlineMS,
-		}, out)
-		if oc == outcomeOK {
-			field := "answer"
-			if class == "count" {
-				field = "count"
+		var oc outcome
+		for attempt := 0; attempt < 2; attempt++ {
+			req, hoc := ld.statementFields(qi)
+			if hoc != outcomeOK {
+				return hoc
 			}
-			if out[field] == nil || out["generation"] == nil {
-				return outcomeError
+			req["deadline_ms"] = *deadlineMS
+			out := map[string]*json.RawMessage{}
+			_, oc = ld.post("/v1/"+class, req, out)
+			if oc == outcomeStale && *useHandles {
+				ld.dropHandle(qi)
+				continue
 			}
+			if oc == outcomeOK {
+				field := "answer"
+				if class == "count" {
+					field = "count"
+				}
+				if out[field] == nil || out["generation"] == nil {
+					return outcomeError
+				}
+			}
+			break
 		}
 		return oc
 	case "enumerate":
 		cursor := ""
 		restarted := false
 		for pageNo := 0; ; pageNo++ {
-			out := map[string]*json.RawMessage{}
-			req := map[string]interface{}{
-				"query":       ld.wl.Queries[qi].String(),
-				"limit":       *page,
-				"deadline_ms": *deadlineMS,
+			req, hoc := ld.statementFields(qi)
+			if hoc != outcomeOK {
+				return hoc
 			}
+			req["limit"] = *page
+			req["deadline_ms"] = *deadlineMS
 			if cursor != "" {
 				req["cursor"] = cursor
 			}
+			out := map[string]*json.RawMessage{}
 			_, oc := ld.post("/v1/enumerate", req, out)
-			if oc == outcomeStale && cursor != "" && !restarted {
-				// Stale cursor: restart from the first page.
+			if oc == outcomeStale && !restarted {
+				// Stale cursor or evicted handle: re-prepare if needed and
+				// restart from the first page.
 				restarted = true
 				cursor = ""
+				if *useHandles {
+					ld.dropHandle(qi)
+				}
 				continue
 			}
 			if oc != outcomeOK {
@@ -390,9 +544,47 @@ func (ld *loader) request(class string, qi int, follow bool) outcome {
 	return outcomeError
 }
 
+// stormQuery synthesizes a never-before-seen query: a fresh head predicate
+// (the fingerprint folds the head name, so each is a guaranteed cache miss
+// and a genuinely cold bind) over a join chain of -storm-atoms copies of a
+// binary workload relation — enough semijoin work per bind to make a storm
+// hurt. The sequence number is monotonic across trials so a sweep never
+// accidentally re-warms an earlier storm's statement.
+func (ld *loader) stormQuery() string {
+	n := ld.stormSeq.Add(1)
+	if ld.stormPred == "" {
+		text := ld.wl.Queries[int(n)%len(ld.wl.Queries)].String()
+		return fmt.Sprintf("Storm%d%s", n, text[strings.Index(text, "("):])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Storm%d(x0) :- ", n)
+	for i := 0; i < *stormAtoms; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s(x%d,x%d)", ld.stormPred, i, i+1)
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+func (ld *loader) stormRequest() outcome {
+	out := map[string]*json.RawMessage{}
+	_, oc := ld.post("/v1/decide", map[string]interface{}{
+		"query":       ld.stormQuery(),
+		"deadline_ms": *stormDeadMS,
+	}, out)
+	if oc == outcomeOK && (out["answer"] == nil || out["generation"] == nil) {
+		return outcomeError
+	}
+	return oc
+}
+
 // writeReport emits the qbench JSON shape so cmd/benchgate can compare two
 // runs: one experiment per (arrival process, rate), wall_ns = overall p99
-// request latency, per-class p99s in the extras.
+// request latency, per-class p99s in the extras. With a storm running the
+// overall histogram holds only warm traffic, so wall_ns is the E23 metric:
+// warm p99 during the bind storm.
 func writeReport(path string, results []trialResult) error {
 	type expReport struct {
 		ID         string                 `json:"id"`
@@ -407,23 +599,36 @@ func writeReport(path string, results []trialResult) error {
 		extra := map[string]interface{}{
 			"offered_rps":  res.offered,
 			"achieved_rps": float64(res.ok) / res.elapsed.Seconds(),
-			"p50_ns":       res.overall.Quantile(0.5),
+			"p50_ns":       res.overall.QuantileInterpolated(0.5),
 			"max_ns":       res.overall.Max(),
 			"rejected_429": res.rejected,
 			"stale_410":    res.stale,
+			"shed_503":     res.shed,
+			"expired_504":  res.expired,
 			"errors":       res.errors,
 			"requests_ok":  res.ok,
 		}
-		for _, c := range classes {
-			if h := res.byClass[c]; h.Count() > 0 {
-				extra[c+"_p99_ns"] = h.Quantile(0.99)
+		if *stormRate > 0 {
+			extra["storm_rps"] = *stormRate
+			extra["storm_ok"] = res.stormOK
+			if res.storm.Count() > 0 {
+				extra["storm_p99_ns"] = res.storm.QuantileInterpolated(0.99)
 			}
 		}
+		for _, c := range classes {
+			if h := res.byClass[c]; h.Count() > 0 {
+				extra[c+"_p99_ns"] = h.QuantileInterpolated(0.99)
+			}
+		}
+		id := fmt.Sprintf("%s/%s/rate=%.0f", *expID, *arrivals, res.offered)
+		if *expLabel != "" {
+			id += "/" + *expLabel
+		}
 		reports = append(reports, expReport{
-			ID: fmt.Sprintf("E21/%s/rate=%.0f", *arrivals, res.offered),
+			ID: id,
 			Title: fmt.Sprintf("qservd serving: %s arrivals at %.0f req/s for %s",
 				*arrivals, res.offered, res.elapsed.Round(time.Second)),
-			WallNS: res.overall.Quantile(0.99),
+			WallNS: res.overall.QuantileInterpolated(0.99),
 			Extra:  extra,
 		})
 	}

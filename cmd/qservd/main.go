@@ -9,16 +9,23 @@
 //
 // Protocol (POST JSON unless noted):
 //
-//	/v1/prepare    {"query": "..."}                → fingerprint, engines
-//	/v1/decide     {"query": "..."}                → boolean answer
-//	/v1/count      {"query": "..."}                → exact count (decimal string)
-//	/v1/enumerate  {"query", "limit", "cursor"}    → one page + resumable cursor
-//	/v1/enumerate  {"query", "stream": true}       → NDJSON answer stream
+//	/v1/prepare    {"query": "..."}                → fingerprint, engines, statement handle
+//	/v1/decide     {"query" | "handle"}            → boolean answer
+//	/v1/count      {"query" | "handle"}            → exact count (decimal string)
+//	/v1/enumerate  {"query" | "handle", "limit", "cursor"} → one page + resumable cursor
+//	/v1/enumerate  {..., "stream": true}           → NDJSON answer stream
 //	/v1/mutate     {"pred", "op", "tuple"}         → single-tuple insert/delete
 //	/healthz (GET), /v1/stats (GET), /debug/vars, /debug/pprof/*
 //
-// Enumeration cursors are opaque, authenticated, and stateless: they can be
-// resumed against any future process serving the same database generation.
+// Enumeration cursors and statement handles are opaque, authenticated, and
+// stateless: they can be resumed against any future process serving the
+// same database generation.
+//
+// Cold binds run in a deadline-aware bind lane (-bind-workers/-bind-queue)
+// so a bind storm cannot head-of-line-block warm traffic: requests whose
+// deadline cannot survive the estimated bind wait are shed with 503 and a
+// Retry-After hint. -inline-bind disables the lane (binds run in the
+// request goroutine) and exists as the experiment baseline for E23.
 package main
 
 import (
@@ -44,6 +51,9 @@ func main() {
 	deadline := flag.Duration("deadline", 5*time.Second, "default per-request execution deadline")
 	cacheSize := flag.Int("cache", 256, "prepared-statement cache bound (LRU)")
 	pageSize := flag.Int("page", 1024, "maximum enumerate page size")
+	bindWorkers := flag.Int("bind-workers", 2, "bind lane: concurrent cold-bind bound")
+	bindQueue := flag.Int("bind-queue", 32, "bind lane: queued cold binds before shedding (503)")
+	inlineBind := flag.Bool("inline-bind", false, "bypass the bind lane; cold binds run inline in the request goroutine (E23 baseline)")
 	flag.Parse()
 
 	var (
@@ -75,6 +85,9 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxPrepared:     *cacheSize,
 		MaxPageSize:     *pageSize,
+		BindWorkers:     *bindWorkers,
+		BindQueueDepth:  *bindQueue,
+		InlineBind:      *inlineBind,
 	})
 	srv.Publish("qservd")
 
@@ -85,8 +98,12 @@ func main() {
 	mux.Handle("/debug/", http.DefaultServeMux)
 	_ = expvar.Handler()
 
-	fmt.Printf("qservd: serving on %s (max-inflight %d, deadline %s, cache %d)\n",
-		*addr, *maxInflight, *deadline, *cacheSize)
+	bindMode := fmt.Sprintf("bind-workers %d, bind-queue %d", *bindWorkers, *bindQueue)
+	if *inlineBind {
+		bindMode = "inline binds (no bind lane)"
+	}
+	fmt.Printf("qservd: serving on %s (max-inflight %d, deadline %s, cache %d, %s)\n",
+		*addr, *maxInflight, *deadline, *cacheSize, bindMode)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
 	}

@@ -43,6 +43,7 @@ package cq
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/database"
 	"repro/internal/hypergraph"
@@ -696,6 +697,94 @@ func (cr *ConstRefresher) Apply(deltas map[string]database.Delta) bool {
 		}
 	}
 	return true
+}
+
+// SlabWaste totals the tombstoned slab rows across the core's positions:
+// storage grown by Apply that deletes have since abandoned (root
+// swap-remove and Index.RemoveRow drop the row id but never the slot, so
+// under delete/insert churn the slabs only grow).
+func (cr *ConstRefresher) SlabWaste() int {
+	w := 0
+	for j := range cr.core.slabs {
+		if n := cr.core.slabs[j].Len() - cr.sizes[j]; n > 0 {
+			w += n
+		}
+	}
+	return w
+}
+
+// CompactSlabs rebuilds the row storage of every core position whose slab
+// holds at least minWaste tombstoned rows, returning a fresh core over the
+// compacted slabs (nil when no position crossed the threshold) and the
+// number of rows reclaimed. The old core is left fully intact — live
+// enumeration cursors keep reading it — so the caller must republish the
+// returned core for new cursors; the refresher itself switches over
+// immediately and subsequent Apply calls patch the new core.
+//
+// Live rows are re-laid-out in ascending old-id order and each index is
+// rebased structure-preservingly (Index.Rebase), so bucket contents and
+// the root sequence keep their exact enumeration order: pagination
+// cursors minted at the current generation resolve to the same answers
+// against the compacted core.
+func (cr *ConstRefresher) CompactSlabs(minWaste int) (*OdometerCore, int) {
+	core := cr.core
+	var ncore *OdometerCore
+	reclaimed := 0
+	for j := range core.slabs {
+		waste := core.slabs[j].Len() - cr.sizes[j]
+		if waste < minWaste {
+			continue // arity-0 positions report Len 0 and never qualify
+		}
+		if ncore == nil {
+			c := *core
+			c.slabs = append([]database.Slab(nil), core.slabs...)
+			c.idx = append([]*database.Index(nil), core.idx...)
+			ncore = &c
+		}
+		live := make([]int32, 0, cr.sizes[j])
+		for _, id := range cr.pos[j] {
+			live = append(live, id)
+		}
+		sort.Slice(live, func(a, b int) bool { return live[a] < live[b] })
+		sl, remap := core.rels[j].R.CompactSlab(core.slabs[j], live)
+		ncore.slabs[j] = sl
+		if j == 0 {
+			// The root bucket holds exactly the live ids (deletes swap-
+			// remove), so every remap hit is valid; order is preserved
+			// elementwise.
+			nroot := make([]int32, len(core.root))
+			for i, id := range core.root {
+				nroot[i] = remap[id]
+			}
+			ncore.root = nroot
+			cr.rootIdx = make(map[int32]int, len(nroot))
+			for i, id := range nroot {
+				cr.rootIdx[id] = i
+			}
+		} else {
+			ncore.idx[j] = core.idx[j].Rebase(sl, remap)
+		}
+		np := make(map[string]int32, len(cr.pos[j]))
+		for k, id := range cr.pos[j] {
+			np[k] = remap[id]
+		}
+		cr.pos[j] = np
+		reclaimed += waste
+	}
+	if ncore == nil {
+		return nil, 0
+	}
+	cr.core = ncore
+	// Compaction restored density, so the churn budget that forces the
+	// eventual full rebuild resets to the remaining (sub-threshold) waste:
+	// sustained delete/insert churn stays on the delta path indefinitely
+	// instead of hitting the rebuild cliff every baseRows/2 mutations.
+	cr.baseRows = 0
+	for _, n := range cr.sizes {
+		cr.baseRows += n
+	}
+	cr.churn = cr.SlabWaste()
+	return ncore, reclaimed
 }
 
 // --- linear-delay refresher -------------------------------------------

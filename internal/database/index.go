@@ -93,6 +93,43 @@ func (r *Relation) slabLocked() Slab {
 // Row returns tuple i as a view into the relation's slab.
 func (r *Relation) Row(i int) Tuple { return r.Slab().Row(int32(i)) }
 
+// CompactSlab rebuilds the relation's row storage from the live rows of
+// sl, reclaiming the slots tombstoned by delete churn: Slab.Append-grown
+// storage is never shrunk by deletes — the incremental refreshers abandon
+// slots, so under sustained delete/insert churn a spine slab only grows.
+// live lists the surviving row ids in ascending order; the result is a
+// fresh dense slab whose row i is a copy of sl.Row(live[i]), installed as
+// the relation's storage together with rebuilt tuple views. The returned
+// remap translates old row ids to new ones (-1 for dead rows), for
+// Index.Rebase and refresher bookkeeping. The relation's generation is
+// untouched — the live tuple set is identical, only its layout moved — so
+// the caller must itself rebase every holder of old row ids (indexes,
+// position maps) before publishing the new slab.
+func (r *Relation) CompactSlab(sl Slab, live []int32) (Slab, []int32) {
+	if sl.arity == 0 {
+		panic("database: CompactSlab on arity-0 slab")
+	}
+	ns := Slab{arity: sl.arity, data: make([]Value, len(live)*sl.arity)}
+	remap := make([]int32, sl.Len())
+	for i := range remap {
+		remap[i] = -1
+	}
+	tuples := make([]Tuple, len(live))
+	for i, id := range live {
+		copy(ns.data[i*sl.arity:(i+1)*sl.arity], sl.Row(id))
+		remap[id] = int32(i)
+		tuples[i] = ns.Row(int32(i))
+	}
+	r.mu.Lock()
+	r.Tuples = tuples
+	r.indexes = nil
+	r.indexesBig = nil
+	r.sorted = false
+	r.slabPtr.Store(&ns)
+	r.mu.Unlock()
+	return ns, remap
+}
+
 // --- fingerprints -----------------------------------------------------
 
 const keyHashSeed uint64 = 0x9e3779b97f4a7c15
@@ -620,6 +657,29 @@ func (ix *Index) Compact() int {
 	ix.waste = 0
 	ix.state.Store(&indexState{shards: shards})
 	return reclaimed
+}
+
+// Rebase returns a new index over a compacted slab: remap translates every
+// old slab row id to its new id, as produced by Relation.CompactSlab.
+// Bucket structure — the fingerprint → key grouping, each bucket's content
+// order, overflow chains — is preserved exactly, so an enumeration pass
+// over the rebased index visits rows in the same order as over the
+// original; only the ids and the (now dense) CSR layout change. The
+// receiver is left fully intact, keeping in-flight cursors over the old
+// slab valid.
+func (ix *Index) Rebase(sl Slab, remap []int32) *Index {
+	nix := &Index{Cols: ix.Cols, slab: sl, hash: ix.hash, fast: ix.fast, mask: ix.mask}
+	old := ix.state.Load().shards
+	shards := make([]shard, len(old))
+	for i := range old {
+		ns := compactShard(&old[i])
+		for k, id := range ns.rows {
+			ns.rows[k] = remap[id]
+		}
+		shards[i] = ns
+	}
+	nix.state.Store(&indexState{shards: shards})
+	return nix
 }
 
 // compactShard rewrites one shard's buckets into a dense row array.

@@ -122,6 +122,58 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
+// QuantileInterpolated estimates the q-quantile (0 < q ≤ 1) by linear
+// interpolation within the winning log₂ bucket, assuming samples are
+// uniformly spread across it. Unlike Quantile it is an estimate, not an
+// upper bound — but it moves when the underlying distribution moves inside
+// a bucket, which is what a latency regression gate needs: with 2× bucket
+// edges, Quantile pins p50/p99 to the same edge across runs whose real
+// latencies differ by up to 2×. The result is still capped at the exact
+// observed maximum and floored at the bucket's lower edge.
+func (h *Histogram) QuantileInterpolated(q float64) int64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if float64(target) < q*float64(n) {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := 0; b < numBuckets; b++ {
+		c := h.counts[b].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < target {
+			continue
+		}
+		if b == 0 {
+			return 0
+		}
+		lo, hi := BucketLo(b), BucketHi(b)
+		if m := h.max.Load(); m < hi {
+			hi = m
+		}
+		if hi <= lo {
+			return lo
+		}
+		// rank within this bucket, in (0, 1]: rank 1 of c lands just above
+		// lo, rank c lands on hi.
+		frac := float64(target-(cum-c)) / float64(c)
+		v := lo + int64(frac*float64(hi-lo))
+		if v > hi {
+			v = hi
+		}
+		return v
+	}
+	return h.max.Load()
+}
+
 // Bucket is one nonzero histogram bucket in a snapshot.
 type Bucket struct {
 	Lo    int64 `json:"lo"`

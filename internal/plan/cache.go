@@ -21,6 +21,14 @@ type Cache struct {
 	plans    map[uint64][]*Plan
 	prepared map[preparedKey]*preparedEntry
 
+	// inflight is the singleflight registry of binds and refreshes in
+	// progress. Compilation is cheap and pure, so it stays under c.mu; the
+	// data-dependent Bind/Refresh runs OUTSIDE the lock behind a flight
+	// entry, so one slow bind never head-of-line-blocks warm probes of
+	// other statements, and a thundering herd of cold probes for the same
+	// (plan, db) coalesces onto one bind instead of serializing N of them.
+	inflight map[preparedKey]*bindFlight
+
 	// maxPrepared bounds len(prepared); 0 means unbounded. Entries beyond
 	// the bound are evicted least-recently-used, so a workload cycling
 	// through many (plan, database) pairs cannot grow the cache — and,
@@ -44,6 +52,15 @@ type preparedEntry struct {
 	lastUse atomic.Uint64
 }
 
+// bindFlight is one in-progress bind/refresh: done is closed once pr/err
+// are settled, and every prepareSlow caller that found the flight waits on
+// it instead of binding again.
+type bindFlight struct {
+	done chan struct{}
+	pr   *Prepared
+	err  error
+}
+
 func (c *Cache) touch(e *preparedEntry) {
 	e.lastUse.Store(c.clock.Add(1))
 }
@@ -53,6 +70,7 @@ func NewCache() *Cache {
 	return &Cache{
 		plans:    make(map[uint64][]*Plan),
 		prepared: make(map[preparedKey]*preparedEntry),
+		inflight: make(map[preparedKey]*bindFlight),
 	}
 }
 
@@ -87,9 +105,11 @@ func (c *Cache) SetMaxPrepared(n int) {
 // Sweep drops every cached statement whose database has mutated since it
 // was bound or refreshed, returning how many were dropped. Useful after a
 // bulk load, when catching the survivors up would be pure waste. Surviving
-// statements get their spine indexes compacted (Prepared.CompactIndexes)
-// when incremental refreshes have degraded the bucket layout past the
-// threshold, so periodic sweeps also bound index waste under churn.
+// statements get their spine index layouts compacted
+// (Prepared.CompactIndexes) and their tombstoned slab rows reclaimed
+// (Prepared.CompactSlabs) once past the waste threshold, so periodic
+// sweeps bound both index waste and row-storage growth under sustained
+// mutate/refresh churn.
 func (c *Cache) Sweep() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -101,6 +121,7 @@ func (c *Cache) Sweep() int {
 			continue
 		}
 		e.pr.CompactIndexes()
+		e.pr.CompactSlabs()
 	}
 	return n
 }
@@ -240,9 +261,13 @@ func (c *Cache) PrepareUCQCounted(u *logic.UCQ, db *database.Database, counter *
 // then either catch a stale cached statement up in place (Refresh — the
 // entry, its memory, and its bound spine survive the mutation) or bind a
 // fresh one.
+//
+// Compilation (pure, cheap) runs under c.mu; the data-dependent
+// Refresh/Bind runs outside it behind a singleflight entry. Concurrent
+// cold probes for the same (plan, db) wait on the one in-flight bind and
+// count as hits; probes for OTHER statements are never blocked by it.
 func (c *Cache) prepareSlow(fp uint64, p *Plan, q *logic.CQ, u *logic.UCQ, db *database.Database, counter *delay.Counter) (*Prepared, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if p == nil {
 		if p = c.lookupPlan(fp, q, u); p == nil {
 			var err error
@@ -252,6 +277,7 @@ func (c *Cache) prepareSlow(fp uint64, p *Plan, q *logic.CQ, u *logic.UCQ, db *d
 				p, err = Compile(q)
 			}
 			if err != nil {
+				c.mu.Unlock()
 				return nil, err
 			}
 			c.plans[fp] = append(c.plans[fp], p)
@@ -259,28 +285,114 @@ func (c *Cache) prepareSlow(fp uint64, p *Plan, q *logic.CQ, u *logic.UCQ, db *d
 	}
 	// Another goroutine may have bound it while we waited for the lock.
 	key := preparedKey{p, db}
-	if e := c.prepared[key]; e != nil {
-		if e.gen == db.Generation() {
-			c.touch(e)
-			c.hits.Add(1)
-			return e.pr, nil
-		}
-		if _, err := e.pr.Refresh(counter); err == nil {
-			e.gen = e.pr.Generation()
-			c.touch(e)
-			c.refreshes.Add(1)
-			return e.pr, nil
-		}
-		delete(c.prepared, key)
+	if e := c.prepared[key]; e != nil && e.gen == db.Generation() {
+		c.touch(e)
+		c.hits.Add(1)
+		c.mu.Unlock()
+		return e.pr, nil
 	}
-	c.misses.Add(1)
-	pr, err := p.BindCounted(db, counter)
-	if err != nil {
-		return nil, err
+	if fl := c.inflight[key]; fl != nil {
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		// Under the usual locking discipline (executions hold the database
+		// read-side while probing) the flight's result is necessarily at
+		// the current generation; an undisciplined caller may receive a
+		// statement already stale, exactly as the pre-singleflight code
+		// could, and recovers through ErrStalePlan.
+		c.hits.Add(1)
+		return fl.pr, nil
 	}
-	e := &preparedEntry{gen: pr.Generation(), pr: pr}
+	fl := &bindFlight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	stale := c.prepared[key] // non-nil ⇒ stale (fresh was handled above)
+	c.mu.Unlock()
+
+	var pr *Prepared
+	var err error
+	refreshed := false
+	if stale != nil {
+		if _, rerr := stale.pr.Refresh(counter); rerr == nil {
+			pr, refreshed = stale.pr, true
+		}
+	}
+	if pr == nil {
+		pr, err = p.BindCounted(db, counter)
+	}
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	switch {
+	case err != nil:
+		if stale != nil && c.prepared[key] == stale {
+			delete(c.prepared, key)
+		}
+		fl.err = err
+	case refreshed:
+		stale.gen = pr.Generation()
+		c.touch(stale)
+		// Re-insert: a concurrent Sweep may have dropped the entry while
+		// the refresh was in flight.
+		c.prepared[key] = stale
+		c.refreshes.Add(1)
+		fl.pr = pr
+	default:
+		if stale != nil && c.prepared[key] == stale {
+			delete(c.prepared, key)
+		}
+		c.misses.Add(1)
+		e := &preparedEntry{gen: pr.Generation(), pr: pr}
+		c.touch(e)
+		c.prepared[key] = e
+		c.evictLocked()
+		fl.pr = pr
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return pr, err
+}
+
+// PeekPlan probes for a warm bound statement of an already-compiled plan
+// without ever binding — the serving fast lane's probe-without-bind. ok is
+// false when the statement is cold or stale; the caller decides whether to
+// pay the bind (PreparePlan), queue it, or shed the request. A warm probe
+// counts as a cache hit; a cold probe counts nothing.
+func (c *Cache) PeekPlan(p *Plan, db *database.Database) (*Prepared, bool) {
+	c.mu.RLock()
+	e := c.prepared[preparedKey{p, db}]
+	if e == nil || e.gen != db.Generation() {
+		c.mu.RUnlock()
+		return nil, false
+	}
 	c.touch(e)
-	c.prepared[key] = e
-	c.evictLocked()
-	return pr, nil
+	c.mu.RUnlock()
+	c.hits.Add(1)
+	return e.pr, true
+}
+
+// PreparePlan is PrepareCounted from an already-compiled plan: it skips
+// parse and fingerprint work entirely. Bind workers resolving queued cold
+// binds and the prepared-handle path (which recovers the plan by
+// fingerprint) both enter here.
+func (c *Cache) PreparePlan(p *Plan, db *database.Database, counter *delay.Counter) (*Prepared, error) {
+	if pr, ok := c.PeekPlan(p, db); ok {
+		return pr, nil
+	}
+	return c.prepareSlow(0, p, nil, nil, db, counter)
+}
+
+// PlanByFingerprint resolves a structural fingerprint to the unique cached
+// plan carrying it, or nil when no such plan is cached — or when several
+// structurally distinct queries collide on fp, in which case serving a
+// plan would be a guess; the caller treats both as an unknown handle and
+// forces the client to re-prepare with the full query text.
+func (c *Cache) PlanByFingerprint(fp uint64) *Plan {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ps := c.plans[fp]; len(ps) == 1 {
+		return ps[0]
+	}
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/big"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/counting"
 	"repro/internal/cq"
@@ -38,8 +39,11 @@ type Prepared struct {
 	// Enumeration spines, built eagerly at Bind for the routes with
 	// reusable preprocessing. At most one is non-nil; a build failure is
 	// recorded in spineErr and surfaced by Enumerate (and recovered from
-	// by the lazy decision paths).
-	constCore *cq.OdometerCore
+	// by the lazy decision paths). constCore is behind an atomic pointer
+	// because slab compaction (Cache.Sweep → CompactSlabs) republishes a
+	// rebuilt core at an unchanged generation, concurrently with Decide/
+	// Enumerate fast paths that read it without taking pr.mu.
+	constCore atomic.Pointer[cq.OdometerCore]
 	linPrep   *cq.LinearPrep
 	neqPrep   *ineq.NeqPrep
 	spineErr  error
@@ -87,8 +91,8 @@ const spineCompactMinWaste = 64
 func (pr *Prepared) SpineWaste() int {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
-	if pr.constCore != nil {
-		return pr.constCore.IndexWaste()
+	if core := pr.constCore.Load(); core != nil {
+		return core.IndexWaste()
 	}
 	return 0
 }
@@ -102,10 +106,44 @@ func (pr *Prepared) SpineWaste() int {
 func (pr *Prepared) CompactIndexes() int {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
-	if pr.constCore != nil {
-		return pr.constCore.CompactIndexes(spineCompactMinWaste)
+	if core := pr.constCore.Load(); core != nil {
+		return core.CompactIndexes(spineCompactMinWaste)
 	}
 	return 0
+}
+
+// SlabWaste reports the tombstoned slab rows accumulated in the bound
+// spine by incremental deletes — the storage-only-grows leak CompactSlabs
+// reclaims. Zero for statements without an installed constant-delay
+// refresher.
+func (pr *Prepared) SlabWaste() int {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.constR != nil {
+		return pr.constR.SlabWaste()
+	}
+	return 0
+}
+
+// CompactSlabs reclaims tombstoned spine slab rows once a position's waste
+// crosses the same threshold Index.Compact uses, returning the number of
+// rows reclaimed. The rebuilt core preserves enumeration order exactly and
+// is republished atomically at an unchanged generation, so concurrent
+// executions and already-minted pagination cursors stay valid: in-flight
+// cursors keep reading the old core, new ones pick up the dense layout.
+// plan.Cache.Sweep calls it on every surviving statement, bounding spine
+// storage under sustained delete/insert churn.
+func (pr *Prepared) CompactSlabs() int {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.constR == nil {
+		return 0
+	}
+	core, reclaimed := pr.constR.CompactSlabs(spineCompactMinWaste)
+	if core != nil {
+		pr.constCore.Store(core)
+	}
+	return reclaimed
 }
 
 // Bind runs the data-dependent preprocessing of p over db. See BindCounted.
@@ -133,7 +171,9 @@ func (p *Plan) BindCounted(db *database.Database, c *delay.Counter) (*Prepared, 
 	}
 	switch p.EnumerateEngine {
 	case EngineConstantDelay:
-		pr.constCore, pr.spineErr = cq.PrepareConstantDelay(db, p.CQ, c)
+		core, err := cq.PrepareConstantDelay(db, p.CQ, c)
+		pr.constCore.Store(core)
+		pr.spineErr = err
 	case EngineLinearDelay:
 		pr.linPrep, pr.spineErr = cq.PrepareLinearDelay(db, p.CQ, c)
 	case EngineNeqEnum:
@@ -180,8 +220,8 @@ func (pr *Prepared) Decide(c *delay.Counter) (bool, error) {
 	if p.DecideEngine == EngineYannakakis && pr.spineErr == nil {
 		// The spine is a full reduction of the (comparison-free) query, so
 		// non-emptiness answers the decision problem with no further work.
-		if pr.constCore != nil {
-			return pr.constCore.NonEmpty(), nil
+		if core := pr.constCore.Load(); core != nil {
+			return core.NonEmpty(), nil
 		}
 		if pr.linPrep != nil {
 			return pr.linPrep.NonEmpty(), nil
@@ -301,7 +341,7 @@ func (pr *Prepared) Enumerate(c *delay.Counter) (delay.Enumerator, error) {
 		if pr.spineErr != nil {
 			return nil, pr.spineErr
 		}
-		return pr.constCore.Cursor(c), nil
+		return pr.constCore.Load().Cursor(c), nil
 	case EngineLinearDelay:
 		if pr.spineErr != nil {
 			return nil, pr.spineErr

@@ -38,9 +38,13 @@ func sortTuples(ts []database.Tuple) {
 // Sweep/Len/Stats — against a database mutating under a qgen script. The
 // locking discipline is the serving one (qservd uses the same): executions
 // hold a read lock on the database for their whole probe+execute window,
-// mutations hold the write lock. Run under -race this guards the cache's
-// concurrency; the assertions guard that no stale answer ever escapes and
-// that ErrStalePlan always recovers within one re-probe.
+// mutations hold the write lock. Workers alternate randomly between the
+// query-text path (Prepare) and the handle path qservd's bind lane uses
+// (PeekPlan probe, PreparePlan on a miss) so the singleflight registry and
+// the warm-probe fast path race against eviction, refresh, and each other.
+// Run under -race this guards the cache's concurrency; the assertions
+// guard that no stale answer ever escapes and that ErrStalePlan always
+// recovers within one re-probe.
 func TestCacheRaceStress(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	cfg := qgen.Default()
@@ -69,6 +73,17 @@ func TestCacheRaceStress(t *testing.T) {
 
 	cache := plan.NewCache()
 	cache.SetMaxPrepared(4) // smaller than the working set: constant eviction churn
+
+	// Compiled plans for the handle path: qservd resolves a statement
+	// handle to a *Plan and then probes/binds by plan, never re-parsing.
+	plans := make([]*plan.Plan, len(queries))
+	for i, q := range queries {
+		p, err := cache.Compile(q)
+		if err != nil {
+			t.Fatalf("compile q%d: %v", i, err)
+		}
+		plans[i] = p
+	}
 
 	compute := func() *genState {
 		st := &genState{gen: db.Generation()}
@@ -114,7 +129,18 @@ func TestCacheRaceStress(t *testing.T) {
 					t.Errorf("worker %d: read-locked generation %d does not match published state %d", w, db.Generation(), st.gen)
 					return
 				}
-				pr, err := cache.Prepare(queries[i], db)
+				var pr *plan.Prepared
+				var err error
+				if wrng.Intn(2) == 0 {
+					// Handle path: warm probe first, singleflight bind on a
+					// miss — exactly qservd's withStatement sequence.
+					var warm bool
+					if pr, warm = cache.PeekPlan(plans[i], db); !warm {
+						pr, err = cache.PreparePlan(plans[i], db, nil)
+					}
+				} else {
+					pr, err = cache.Prepare(queries[i], db)
+				}
 				if err != nil {
 					dbMu.RUnlock()
 					t.Errorf("worker %d: Prepare: %v", w, err)

@@ -177,10 +177,12 @@ func (pr *Prepared) rebindLocked() {
 	case EngineConstantDelay:
 		cr, core, err := cq.NewConstRefresher(pr.db, p.CQ)
 		if err != nil {
-			pr.constCore, pr.spineErr = nil, err
+			pr.constCore.Store(nil)
+			pr.spineErr = err
 			break
 		}
-		pr.constCore, pr.spineErr = core, nil
+		pr.constCore.Store(core)
+		pr.spineErr = nil
 		pr.constR = cr
 		pr.tracked = true
 	case EngineLinearDelay:

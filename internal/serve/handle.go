@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"crypto/hmac"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+)
+
+// A statement handle is the prepared-statement analogue of a cursor: an
+// opaque, HMAC-authenticated token minted by POST /v1/prepare that lets a
+// client name a statement without resending (or re-parsing) the query
+// text. It pins the plan fingerprint and the database generation it was
+// minted at. The server keeps nothing per client — a handle resolves
+// through the plan cache's fingerprint index, so it survives mutations and
+// in-place refreshes, and only dies (410 unknown_handle) when the compiled
+// plan itself has been dropped, e.g. after a cache reset. The generation
+// field is informational (clients can log how far behind their handle is);
+// freshness is re-checked per request exactly as for query-text requests.
+//
+// Wire format mirrors cursors: base64url( version | fp | gen | mac ), with
+// fixed-width big-endian uint64 fields and an HMAC-SHA256 tag truncated to
+// 8 bytes under the same per-server key. The version byte differs from the
+// cursor's, so a handle pasted into a cursor field (or vice versa) fails
+// decoding rather than being misinterpreted.
+
+const (
+	handleVersion = 2
+	handleRawLen  = 1 + 8 + 8 + 8
+)
+
+var (
+	errHandleMalformed = errors.New("serve: malformed handle")
+	errHandleForged    = errors.New("serve: handle failed authentication")
+)
+
+type stmtHandle struct {
+	fp  uint64
+	gen uint64
+}
+
+func encodeHandle(key []byte, h stmtHandle) string {
+	raw := make([]byte, handleRawLen)
+	raw[0] = handleVersion
+	binary.BigEndian.PutUint64(raw[1:], h.fp)
+	binary.BigEndian.PutUint64(raw[9:], h.gen)
+	copy(raw[17:], cursorMAC(key, raw[:17]))
+	return base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// maxHandleLen bounds the encoded form well above the legitimate size
+// (34 bytes) so oversized inputs are refused before base64 work.
+const maxHandleLen = 64
+
+func decodeHandle(key []byte, s string) (stmtHandle, error) {
+	if len(s) > maxHandleLen {
+		return stmtHandle{}, errHandleMalformed
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil || len(raw) != handleRawLen || raw[0] != handleVersion {
+		return stmtHandle{}, errHandleMalformed
+	}
+	if !hmac.Equal(raw[17:], cursorMAC(key, raw[:17])) {
+		return stmtHandle{}, errHandleForged
+	}
+	return stmtHandle{
+		fp:  binary.BigEndian.Uint64(raw[1:]),
+		gen: binary.BigEndian.Uint64(raw[9:]),
+	}, nil
+}

@@ -22,11 +22,21 @@ type metrics struct {
 	deadlineExpired atomic.Int64
 	staleRetries    atomic.Int64 // ErrStalePlan recoveries (expected: 0 under the lock discipline)
 	answersServed   atomic.Int64
+	staleHandles    atomic.Int64 // 410s: statement handle no longer resolves
+	shed503         atomic.Int64 // 503s: bind lane shed the request
+	bindsQueued     atomic.Int64 // flights that waited for a bind-worker slot
+	bindsCoalesced  atomic.Int64 // requests that joined another request's in-flight bind
 	latency         *obs.Histogram
+	bindWait        *obs.Histogram // waiter time in the bind lane
+	bindCost        *obs.Histogram // observed bind execution cost
 }
 
 func newMetrics() *metrics {
-	return &metrics{latency: &obs.Histogram{}}
+	return &metrics{
+		latency:  &obs.Histogram{},
+		bindWait: &obs.Histogram{},
+		bindCost: &obs.Histogram{},
+	}
 }
 
 func (m *metrics) count(endpoint string) {
@@ -49,6 +59,14 @@ type Stats struct {
 	DeadlineExpired int64            `json:"deadline_expired"`
 	StaleRetries    int64            `json:"stale_plan_retries"`
 	AnswersServed   int64            `json:"answers_served"`
+	StaleHandles    int64            `json:"stale_handles"`
+	Shed503         int64            `json:"shed_503"`
+	BindsQueued     int64            `json:"binds_queued"`
+	BindsCoalesced  int64            `json:"binds_coalesced"`
+	BindQueueDepth  int              `json:"bind_queue_depth"`
+	BindEwmaNS      int64            `json:"bind_ewma_ns"`
+	BindWaitP99NS   int64            `json:"bind_wait_p99_ns"`
+	BindCostP99NS   int64            `json:"bind_cost_p99_ns"`
 	CacheHits       uint64           `json:"cache_hits"`
 	CacheMisses     uint64           `json:"cache_misses"`
 	CacheRefreshes  uint64           `json:"cache_refreshes"`
@@ -72,12 +90,23 @@ func (s *Server) Stats() Stats {
 		DeadlineExpired: s.m.deadlineExpired.Load(),
 		StaleRetries:    s.m.staleRetries.Load(),
 		AnswersServed:   s.m.answersServed.Load(),
+		StaleHandles:    s.m.staleHandles.Load(),
+		Shed503:         s.m.shed503.Load(),
+		BindsQueued:     s.m.bindsQueued.Load(),
+		BindsCoalesced:  s.m.bindsCoalesced.Load(),
+		BindQueueDepth:  s.binds.queueDepth(),
+		BindEwmaNS:      s.binds.ewma(),
+		BindWaitP99NS:   s.m.bindWait.QuantileInterpolated(0.99),
+		BindCostP99NS:   s.m.bindCost.QuantileInterpolated(0.99),
 		CacheRefreshes:  s.cache.Refreshes(),
 		CacheLen:        s.cache.Len(),
-		LatencyP50NS:    s.m.latency.Quantile(0.5),
-		LatencyP99NS:    s.m.latency.Quantile(0.99),
-		LatencyMaxNS:    s.m.latency.Max(),
-		LatencyCount:    s.m.latency.Count(),
+		// Interpolated within the winning log₂ bucket: the raw Quantile
+		// returns the bucket's upper bound, which pinned E21's p50/p99 to
+		// powers of two (0.52ms/2.10ms) regardless of where the mass sat.
+		LatencyP50NS: s.m.latency.QuantileInterpolated(0.5),
+		LatencyP99NS: s.m.latency.QuantileInterpolated(0.99),
+		LatencyMaxNS: s.m.latency.Max(),
+		LatencyCount: s.m.latency.Count(),
 	}
 	st.CacheHits, st.CacheMisses = s.cache.Stats()
 	s.m.requests.Range(func(k, v interface{}) bool {

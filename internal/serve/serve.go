@@ -26,11 +26,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/database"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -52,9 +54,24 @@ type Config struct {
 	// MaxPrepared bounds the plan cache's prepared-statement set (LRU).
 	// Default 256.
 	MaxPrepared int
-	// CursorKey authenticates cursors. Nil draws a random per-server key;
-	// tests inject a fixed key to exercise forgery handling.
+	// CursorKey authenticates cursors and statement handles. Nil draws a
+	// random per-server key; tests inject a fixed key to exercise forgery
+	// handling.
 	CursorKey []byte
+	// BindWorkers bounds concurrently executing cold binds in the bind
+	// lane (see bindqueue.go). Default 2.
+	BindWorkers int
+	// BindQueueDepth bounds cold binds waiting for a bind worker; beyond
+	// it requests are shed with 503. Default 32.
+	BindQueueDepth int
+	// InlineBind disables the bind lane: cold binds run inline inside the
+	// request's read-lock window, occupying an admission slot for the
+	// whole bind. This is the pre-queue behavior, kept as the overload
+	// baseline for experiment E23.
+	InlineBind bool
+	// Obs, when non-nil, receives bind-lane spans (bind-exec,
+	// bind-queue-wait, bind-shed) for offline analysis.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +93,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxPrepared <= 0 {
 		c.MaxPrepared = 256
 	}
+	if c.BindWorkers <= 0 {
+		c.BindWorkers = 2
+	}
+	if c.BindQueueDepth <= 0 {
+		c.BindQueueDepth = 32
+	}
 	if len(c.CursorKey) == 0 {
 		key := make([]byte, 32)
 		if _, err := rand.Read(key); err != nil {
@@ -95,6 +118,7 @@ type Server struct {
 	dbMu  sync.RWMutex // read: query execution; write: mutation
 	sem   chan struct{}
 	m     *metrics
+	binds *bindQueue
 }
 
 // New builds a Server over db. dict may be nil (numeric constants only).
@@ -102,7 +126,7 @@ func New(db *database.Database, dict *database.Dictionary, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	cache := plan.NewCache()
 	cache.SetMaxPrepared(cfg.MaxPrepared)
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		db:    db,
 		dict:  dict,
@@ -110,6 +134,8 @@ func New(db *database.Database, dict *database.Dictionary, cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		m:     newMetrics(),
 	}
+	s.binds = newBindQueue(s)
+	return s
 }
 
 // Cache exposes the plan cache (tests inspect hit/refresh counters).
@@ -159,6 +185,9 @@ func (s *Server) guard(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 
 type queryRequest struct {
 	Query string `json:"query"`
+	// Handle, when set, names the statement by a token from /v1/prepare
+	// instead of query text (which is then ignored).
+	Handle string `json:"handle,omitempty"`
 	// Enumerate only:
 	Cursor string `json:"cursor,omitempty"`
 	Limit  int    `json:"limit,omitempty"`
@@ -171,6 +200,9 @@ type mutateRequest struct {
 	Pred  string  `json:"pred"`
 	Op    string  `json:"op"` // "insert" | "delete"
 	Tuple []int64 `json:"tuple"`
+	// Handle, when set, is validated (liveness assertion) before the
+	// mutation is applied; the mutation itself is addressed by Pred.
+	Handle string `json:"handle,omitempty"`
 }
 
 type errorBody struct {
@@ -228,24 +260,101 @@ func (s *Server) deadline(r *http.Request, req *queryRequest) (context.Context, 
 	return context.WithTimeout(r.Context(), d)
 }
 
-// withPrepared probes the cache and runs fn, re-probing on ErrStalePlan.
-// The caller must hold the database read lock; the retry loop is defense
-// in depth (see the package comment).
-func (s *Server) withPrepared(q *logic.CQ, fn func(pr *plan.Prepared) error) error {
-	var err error
-	for attempt := 0; attempt < 3; attempt++ {
-		var pr *plan.Prepared
-		pr, err = s.cache.Prepare(q, s.db)
+// resolvePlan turns the request into a compiled plan: by statement handle
+// when one is attached (no parsing, no query text round trip), else by
+// query text. Writes the error response itself on failure. Handles that no
+// longer resolve — the compiled plan was dropped, e.g. by a cache reset —
+// get 410 so the client knows to re-prepare with query text rather than
+// retry.
+func (s *Server) resolvePlan(w http.ResponseWriter, req *queryRequest) (*plan.Plan, bool) {
+	if req.Handle != "" {
+		h, err := decodeHandle(s.cfg.CursorKey, req.Handle)
 		if err != nil {
+			s.m.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_handle", err.Error())
+			return nil, false
+		}
+		p := s.cache.PlanByFingerprint(h.fp)
+		if p == nil {
+			s.m.staleHandles.Add(1)
+			writeError(w, http.StatusGone, "unknown_handle",
+				"handle no longer resolves to a cached plan; re-prepare with query text")
+			return nil, false
+		}
+		return p, true
+	}
+	q, ok := s.parseQuery(w, req.Query)
+	if !ok {
+		return nil, false
+	}
+	p, err := s.cache.Compile(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+		return nil, false
+	}
+	return p, true
+}
+
+// withStatement resolves a generation-fresh bound statement for p and runs
+// fn with the database read lock held — the fast lane. A cold statement
+// sends the request through the bind lane (see bindqueue.go) with the read
+// lock RELEASED, so slow binds never stall mutations or occupy more than a
+// bind-worker slot; once the bind lands the fast lane re-probes. With
+// InlineBind set the bind instead runs inside the read-lock window, as it
+// did before the bind lane existed. The ErrStalePlan retry remains defense
+// in depth exactly as before (see the package comment).
+func (s *Server) withStatement(ctx context.Context, p *plan.Plan, fn func(pr *plan.Prepared) error) error {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		s.dbMu.RLock()
+		pr, warm := s.cache.PeekPlan(p, s.db)
+		if !warm && s.cfg.InlineBind {
+			pr, err = s.cache.PreparePlan(p, s.db, nil)
+			if err != nil {
+				s.dbMu.RUnlock()
+				return err
+			}
+			warm = true
+		}
+		if warm {
+			err = fn(pr)
+			s.dbMu.RUnlock()
+			if !errors.Is(err, plan.ErrStalePlan) {
+				return err
+			}
+			s.m.staleRetries.Add(1)
+			continue
+		}
+		s.dbMu.RUnlock()
+		if err = s.binds.bind(ctx, p); err != nil {
 			return err
 		}
-		err = fn(pr)
-		if !errors.Is(err, plan.ErrStalePlan) {
-			return err
-		}
-		s.m.staleRetries.Add(1)
+		// The bind landed; loop to re-probe. A mutation racing in between
+		// sends the next iteration back through the bind lane at the new
+		// generation.
+	}
+	if err == nil {
+		err = plan.ErrStalePlan
 	}
 	return err
+}
+
+// writeQueryError maps statement-path errors onto the wire: bind-lane
+// shedding → 503 with a Retry-After hint, deadline expiry → 504, anything
+// else (unsupported queries, bind failures) → 400.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	var sh *shedError
+	switch {
+	case errors.As(err, &sh):
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((sh.retryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusServiceUnavailable, "bind_overloaded", sh.detail)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.m.deadlineExpired.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+	}
 }
 
 // ---- handlers ----
@@ -255,16 +364,19 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(s, w, r, &req) {
 		return
 	}
-	q, ok := s.parseQuery(w, req.Query)
+	p, ok := s.resolvePlan(w, &req)
 	if !ok {
 		return
 	}
-	s.dbMu.RLock()
-	defer s.dbMu.RUnlock()
-	err := s.withPrepared(q, func(pr *plan.Prepared) error {
-		p := pr.Plan()
+	ctx, cancel := s.deadline(r, &req)
+	defer cancel()
+	err := s.withStatement(ctx, p, func(pr *plan.Prepared) error {
 		writeJSON(w, http.StatusOK, map[string]interface{}{
 			"fingerprint": fmt.Sprintf("%016x", p.Fingerprint()),
+			"handle": encodeHandle(s.cfg.CursorKey, stmtHandle{
+				fp:  p.Fingerprint(),
+				gen: pr.Generation(),
+			}),
 			"engines": map[string]plan.Engine{
 				"decide":    p.DecideEngine,
 				"count":     p.CountEngine,
@@ -275,7 +387,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+		s.writeQueryError(w, err)
 	}
 }
 
@@ -284,13 +396,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(s, w, r, &req) {
 		return
 	}
-	q, ok := s.parseQuery(w, req.Query)
+	p, ok := s.resolvePlan(w, &req)
 	if !ok {
 		return
 	}
-	s.dbMu.RLock()
-	defer s.dbMu.RUnlock()
-	err := s.withPrepared(q, func(pr *plan.Prepared) error {
+	ctx, cancel := s.deadline(r, &req)
+	defer cancel()
+	err := s.withStatement(ctx, p, func(pr *plan.Prepared) error {
 		ans, err := pr.Decide(nil)
 		if err != nil {
 			return err
@@ -302,7 +414,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+		s.writeQueryError(w, err)
 	}
 }
 
@@ -311,13 +423,13 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(s, w, r, &req) {
 		return
 	}
-	q, ok := s.parseQuery(w, req.Query)
+	p, ok := s.resolvePlan(w, &req)
 	if !ok {
 		return
 	}
-	s.dbMu.RLock()
-	defer s.dbMu.RUnlock()
-	err := s.withPrepared(q, func(pr *plan.Prepared) error {
+	ctx, cancel := s.deadline(r, &req)
+	defer cancel()
+	err := s.withStatement(ctx, p, func(pr *plan.Prepared) error {
 		n, err := pr.Count(nil)
 		if err != nil {
 			return err
@@ -329,7 +441,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+		s.writeQueryError(w, err)
 	}
 }
 
@@ -337,6 +449,23 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	var req mutateRequest
 	if !decodeBody(s, w, r, &req) {
 		return
+	}
+	if req.Handle != "" {
+		// Liveness assertion: a client batching mutations against a held
+		// statement can learn its handle died (cache reset) before paying
+		// for the write. The mutation itself is addressed by predicate.
+		h, err := decodeHandle(s.cfg.CursorKey, req.Handle)
+		if err != nil {
+			s.m.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_handle", err.Error())
+			return
+		}
+		if s.cache.PlanByFingerprint(h.fp) == nil {
+			s.m.staleHandles.Add(1)
+			writeError(w, http.StatusGone, "unknown_handle",
+				"handle no longer resolves to a cached plan; re-prepare with query text")
+			return
+		}
 	}
 	t := make(database.Tuple, len(req.Tuple))
 	for i, v := range req.Tuple {
@@ -387,7 +516,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(s, w, r, &req) {
 		return
 	}
-	q, ok := s.parseQuery(w, req.Query)
+	p, ok := s.resolvePlan(w, &req)
 	if !ok {
 		return
 	}
@@ -395,28 +524,34 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 || limit > s.cfg.MaxPageSize {
 		limit = s.cfg.MaxPageSize
 	}
+	// Cursor authenticity and fingerprint binding are checked before any
+	// statement work — a garbage cursor never costs a bind. The generation
+	// check has to wait for the read lock below.
+	var cur cursor
+	hasCursor := false
+	if req.Cursor != "" {
+		var err error
+		cur, err = decodeCursor(s.cfg.CursorKey, req.Cursor)
+		if err != nil {
+			s.m.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_cursor", err.Error())
+			return
+		}
+		if cur.fp != p.Fingerprint() {
+			s.m.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest, "cursor_mismatch",
+				"cursor was minted for a different query")
+			return
+		}
+		hasCursor = true
+	}
 	ctx, cancel := s.deadline(r, &req)
 	defer cancel()
 
-	s.dbMu.RLock()
-	defer s.dbMu.RUnlock()
-	gen := s.db.Generation()
-
-	err := s.withPrepared(q, func(pr *plan.Prepared) error {
+	err := s.withStatement(ctx, p, func(pr *plan.Prepared) error {
+		gen := s.db.Generation()
 		var offset uint64
-		if req.Cursor != "" {
-			cur, err := decodeCursor(s.cfg.CursorKey, req.Cursor)
-			if err != nil {
-				s.m.badRequests.Add(1)
-				writeError(w, http.StatusBadRequest, "bad_cursor", err.Error())
-				return nil
-			}
-			if cur.fp != pr.Plan().Fingerprint() {
-				s.m.badRequests.Add(1)
-				writeError(w, http.StatusBadRequest, "cursor_mismatch",
-					"cursor was minted for a different query")
-				return nil
-			}
+		if hasCursor {
 			if cur.gen != gen {
 				// The database moved under the client's pagination. The
 				// cursor is dead; the client restarts against the current
@@ -430,17 +565,12 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			offset = cur.offset
 		}
 		if req.Stream {
-			return s.streamAnswers(ctx, w, pr, offset)
+			return s.streamAnswers(ctx, w, pr, gen, offset)
 		}
 		return s.servePage(ctx, w, pr, gen, offset, limit)
 	})
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.m.deadlineExpired.Add(1)
-			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
-			return
-		}
-		writeError(w, http.StatusBadRequest, "unsupported_query", err.Error())
+		s.writeQueryError(w, err)
 	}
 }
 
@@ -536,10 +666,12 @@ func (s *Server) page(ctx context.Context, pr *plan.Prepared, offset uint64, lim
 }
 
 // streamAnswers writes newline-delimited JSON, one answer per line, then a
-// final summary line. A deadline expiring mid-stream cuts the stream at an
-// answer boundary with an error line — the enumeration is synchronous in
-// this handler, so cancellation leaks nothing.
-func (s *Server) streamAnswers(ctx context.Context, w http.ResponseWriter, pr *plan.Prepared, offset uint64) error {
+// terminal record. A completed stream ends with {"done":true,"count":n}; a
+// deadline expiring mid-stream cuts at an answer boundary and ends with
+// {"truncated":true,"cursor":...} so the client can tell a cut from a
+// finish and resume exactly where the stream stopped. The enumeration is
+// synchronous in this handler, so cancellation leaks nothing.
+func (s *Server) streamAnswers(ctx context.Context, w http.ResponseWriter, pr *plan.Prepared, gen, offset uint64) error {
 	e, err := pr.EnumerateCtx(ctx, nil)
 	if err != nil {
 		return err
@@ -570,9 +702,19 @@ func (s *Server) streamAnswers(ctx context.Context, w http.ResponseWriter, pr *p
 	}
 	s.m.answersServed.Add(n)
 	if err := e.Err(); err != nil {
-		// Headers are out; report the cut in-band.
+		// Headers are out; report the cut in-band with a resume cursor
+		// positioned after the last emitted answer.
 		s.m.deadlineExpired.Add(1)
-		enc.Encode(errorBody{Error: "deadline_exceeded", Detail: err.Error()})
+		enc.Encode(map[string]interface{}{
+			"truncated": true,
+			"error":     "deadline_exceeded",
+			"detail":    err.Error(),
+			"cursor": encodeCursor(s.cfg.CursorKey, cursor{
+				fp:     pr.Plan().Fingerprint(),
+				gen:    gen,
+				offset: offset + uint64(n),
+			}),
+		})
 		return nil
 	}
 	enc.Encode(map[string]interface{}{"done": true, "count": n})

@@ -48,10 +48,34 @@ func NewWorkload(seed int64, nQueries, nMutations int) *Workload {
 		queries = append(queries, q)
 	}
 	db := qgen.DatabaseFor(rng, cfg, queries...)
+	mutations := qgen.MutationScript(rng, cfg, db, nMutations)
+
+	// StormRel: a deliberately large binary relation none of the workload
+	// queries touch. Cold binds against the generated relations finish in
+	// tens of microseconds (they are small), which makes a realistic bind
+	// storm impossible to stage — so E23's storm queries join over this
+	// relation instead, where one cold bind costs real semijoin work while
+	// compile stays cheap. It is appended after the mutation script is
+	// derived so the script's tuples are unchanged from earlier seeds.
+	storm := database.NewRelation(StormRel, 2)
+	for i := 0; i < stormRows; i++ {
+		storm.InsertValues(database.Value(i), database.Value((i+1)%stormRows))
+	}
+	db.AddRelation(storm)
+
 	return &Workload{
 		Seed:      seed,
 		Queries:   queries,
 		DB:        db,
-		Mutations: qgen.MutationScript(rng, cfg, db, nMutations),
+		Mutations: mutations,
 	}
 }
+
+// StormRel is the big relation E23's cold-bind storm chains over.
+const StormRel = "storm_edge"
+
+// stormRows is sized so one cold bind of a few-atom chain over StormRel
+// costs low tens of milliseconds — expensive enough that an uncontrolled
+// storm visibly starves warm traffic, cheap enough that a single bind
+// never dominates a whole trial.
+const stormRows = 1 << 12
