@@ -1,4 +1,4 @@
-// Command qbench regenerates every experiment of DESIGN.md (E1–E20, E22),
+// Command qbench regenerates every experiment of DESIGN.md (E1–E20, E22, E24),
 // printing one paper-style table per experiment. Each experiment validates
 // the *shape* of a complexity bound stated in the paper — linear scaling,
 // constant vs linear delay, the n^k star-size sweep, the
@@ -132,6 +132,7 @@ func main() {
 		{"E19", "Extension: Compile → Bind → Execute amortization — bind once, execute N times through the plan cache", e19},
 		{"E20", "Extension: delta-binding — steady-state single-tuple updates via Refresh vs the full re-Bind cliff", e20},
 		{"E22", "Extension: vectorized batch probes — scalar vs batched semijoin/join kernels, counted steps bit-identical", e22},
+		{"E24", "Extension: out-of-core snapshots — text parse vs snapshot read vs mmap cold start, counted steps bit-identical", e24},
 	}
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	dataPath := flag.String("data", "", "fact file (one pred(args...) per line); empty for an empty database")
+	dataPath := flag.String("data", "", "fact file (one pred(args...) per line) or qsnap snapshot; empty for an empty database")
 	queryStr := flag.String("query", "", "conjunctive query in rule syntax")
 	task := flag.String("task", "analyze", "analyze | decide | count | enumerate")
 	format := flag.String("format", "text", "analyze output format: text | json (the compiled plan)")
@@ -88,12 +88,10 @@ func main() {
 	dict := database.NewDictionary()
 	db := database.NewDatabase()
 	if *dataPath != "" {
-		f, err := os.Open(*dataPath)
-		if err != nil {
-			fatal(err)
-		}
-		db, err = core.LoadFacts(f, dict)
-		f.Close()
+		lspan := c.StartSpan("load", -1)
+		var err error
+		db, dict, _, err = core.LoadPath(*dataPath)
+		lspan.End()
 		if err != nil {
 			fatal(err)
 		}

@@ -6,6 +6,7 @@
 //
 //	qservd -gen 42 -addr :8080            # seeded qgen workload database
 //	qservd -data facts.txt -addr :8080    # database from a fact file
+//	qservd -data facts.snap -addr :8080   # mmap a prebuilt snapshot (see qsnap)
 //
 // Protocol (POST JSON unless noted):
 //
@@ -44,7 +45,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	dataPath := flag.String("data", "", "fact file to serve (overrides -gen)")
+	dataPath := flag.String("data", "", "fact file or snapshot to serve (overrides -gen)")
 	genSeed := flag.Int64("gen", 1, "serve a seeded qgen workload database")
 	genQueries := flag.Int("gen-queries", 6, "number of workload queries the seed covers")
 	maxInflight := flag.Int("max-inflight", 64, "admission control: concurrent request bound (excess → 429)")
@@ -61,16 +62,13 @@ func main() {
 		dict *database.Dictionary
 	)
 	if *dataPath != "" {
-		f, err := os.Open(*dataPath)
+		var err error
+		db, dict, _, err = core.LoadPath(*dataPath)
 		if err != nil {
 			fatal(err)
 		}
-		dict = &database.Dictionary{}
-		db, err = core.LoadFacts(f, dict)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
+		// The snapshot mapping (if any) lives for the process; the closer is
+		// deliberately dropped — a daemon never unmaps its own database.
 		fmt.Printf("qservd: loaded %s (%d relations, generation %d)\n",
 			*dataPath, len(db.Names()), db.Generation())
 	} else {

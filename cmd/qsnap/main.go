@@ -1,0 +1,184 @@
+// Command qsnap builds and inspects out-of-core database snapshots: the
+// versioned, checksummed binary files qservd/qeval/qbench accept wherever
+// a fact file is accepted, and which start serving by mmap instead of a
+// text parse.
+//
+// Usage:
+//
+//	qsnap -data facts.txt -o facts.snap                 # snapshot a fact file
+//	qsnap -gen 42 -o workload.snap                      # snapshot a seeded qgen workload
+//	qsnap -data facts.txt -index edge:0 -index edge:0,1 # prebuild CSR indexes
+//	qsnap -data facts.txt -shard edge:0:8               # persist an 8-way hash partition on column 0
+//	qsnap -info facts.snap                              # print a snapshot's contents
+//
+// The output is written atomically (temp file + rename), so a serving
+// daemon never maps a half-written snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/database"
+	"repro/internal/serve"
+	"repro/internal/snapshot"
+)
+
+// listFlag collects a repeatable string flag.
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	dataPath := flag.String("data", "", "fact file (or snapshot) to load")
+	genSeed := flag.Int64("gen", -1, "snapshot a seeded qgen workload database instead of -data")
+	genQueries := flag.Int("gen-queries", 6, "number of workload queries the seed covers")
+	out := flag.String("o", "", "output snapshot path")
+	info := flag.String("info", "", "print the contents of an existing snapshot and exit")
+	var indexes, shards listFlag
+	flag.Var(&indexes, "index", "prebuild a CSR index: rel:col[,col...] (repeatable)")
+	flag.Var(&shards, "shard", "persist a hash partition: rel:col[,col...]:k (repeatable)")
+	flag.Parse()
+
+	if *info != "" {
+		printInfo(*info)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "qsnap: -o is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		db   *database.Database
+		dict *database.Dictionary
+	)
+	switch {
+	case *dataPath != "":
+		var err error
+		db, dict, _, err = core.LoadPath(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+	case *genSeed >= 0:
+		w := serve.NewWorkload(*genSeed, *genQueries, 0)
+		db = w.DB
+		dict = database.NewDictionary()
+	default:
+		fmt.Fprintln(os.Stderr, "qsnap: one of -data or -gen is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := &snapshot.Options{
+		Indexes: map[string][][]int{},
+		Shards:  map[string]snapshot.ShardSpec{},
+	}
+	for _, spec := range indexes {
+		rel, cols, err := parseCols(spec, 2)
+		if err != nil {
+			fatal(fmt.Errorf("-index %s: %w", spec, err))
+		}
+		checkRelation(db, rel, cols)
+		opts.Indexes[rel] = append(opts.Indexes[rel], cols)
+	}
+	for _, spec := range shards {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			fatal(fmt.Errorf("-shard %s: want rel:cols:k", spec))
+		}
+		k, err := strconv.Atoi(parts[2])
+		if err != nil || k < 1 {
+			fatal(fmt.Errorf("-shard %s: bad shard count %q", spec, parts[2]))
+		}
+		rel, cols, err := parseCols(parts[0]+":"+parts[1], 2)
+		if err != nil {
+			fatal(fmt.Errorf("-shard %s: %w", spec, err))
+		}
+		checkRelation(db, rel, cols)
+		if _, dup := opts.Shards[rel]; dup {
+			fatal(fmt.Errorf("-shard %s: relation %s already sharded", spec, rel))
+		}
+		opts.Shards[rel] = snapshot.ShardSpec{Cols: cols, K: k}
+	}
+
+	if err := snapshot.WriteFile(*out, db, dict, opts); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("qsnap: wrote %s (%d bytes, %d relations, %d rows, generation %d)\n",
+		*out, st.Size(), len(db.Names()), totalRows(db), db.Generation())
+}
+
+// parseCols splits "rel:c0,c1,..." into a relation name and column list.
+func parseCols(spec string, parts int) (string, []int, error) {
+	ps := strings.SplitN(spec, ":", parts)
+	if len(ps) != parts || ps[0] == "" {
+		return "", nil, fmt.Errorf("want rel:col[,col...]")
+	}
+	var cols []int
+	for _, s := range strings.Split(ps[1], ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || c < 0 {
+			return "", nil, fmt.Errorf("bad column %q", s)
+		}
+		cols = append(cols, c)
+	}
+	return ps[0], cols, nil
+}
+
+func totalRows(db *database.Database) int {
+	n := 0
+	for _, name := range db.Names() {
+		n += db.Relation(name).Len()
+	}
+	return n
+}
+
+func checkRelation(db *database.Database, rel string, cols []int) {
+	r := db.Relation(rel)
+	if r == nil {
+		fatal(fmt.Errorf("unknown relation %q (have %v)", rel, db.Names()))
+	}
+	for _, c := range cols {
+		if c >= r.Arity {
+			fatal(fmt.Errorf("column %d out of range for %s (arity %d)", c, rel, r.Arity))
+		}
+	}
+}
+
+func printInfo(path string) {
+	s, err := snapshot.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	db := s.Database()
+	fmt.Printf("%s: %d relations, %d rows, generation %d, dictionary %d names, mapped=%v\n",
+		path, len(db.Names()), totalRows(db), db.Generation(), s.Dictionary().Len(), s.Mapped())
+	for _, name := range db.Names() {
+		r := db.Relation(name)
+		line := fmt.Sprintf("  %-16s arity %d, %8d rows, gen %d", name, r.Arity, r.Len(), r.Generation())
+		if r.Sorted() {
+			line += ", sorted"
+		}
+		if cols, k, ok := s.ShardMeta(name); ok {
+			line += fmt.Sprintf(", %d shards on cols %v", k, cols)
+		}
+		fmt.Println(line)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qsnap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/database"
+	"repro/internal/snapshot"
+)
+
+// closerFunc adapts a func to io.Closer.
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// LoadPath loads a database from path, accepting either format the tools
+// take for -data: a snapshot file (detected by its magic) is restored
+// through the out-of-core reader — mmap-backed where the platform allows,
+// so a large database starts serving without a parse or a copy — and
+// anything else is parsed as fact text.
+//
+// The returned Closer releases the snapshot mapping (a no-op for text
+// loads; never nil) and must not be called while the database is still in
+// use, unless every relation has promoted to heap storage.
+func LoadPath(path string) (*database.Database, *database.Dictionary, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var head [8]byte
+	n, _ := io.ReadFull(f, head[:])
+	if snapshot.Sniff(head[:n]) {
+		f.Close()
+		s, err := snapshot.Open(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return s.Database(), s.Dictionary(), closerFunc(s.Close), nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	dict := database.NewDictionary()
+	db, err := LoadFacts(f, dict)
+	f.Close()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return db, dict, closerFunc(func() error { return nil }), nil
+}

@@ -128,6 +128,7 @@ type Relation struct {
 	indexesBig map[string]*Index // column lists too wide for a packed signature
 	slabPtr    atomic.Pointer[Slab]
 	sorted     bool // set by Sort/Dedup, cleared by inserts; enables binary-search Contains
+	mapped     bool // storage aliases read-only snapshot pages; promoted to heap on first mutation
 
 	// gen counts mutations (inserts, deletes, reorders — anything that
 	// invalidates indexes and may dangle row ids). Prepared query plans
@@ -327,7 +328,11 @@ func (r *Relation) indexOn(cols []int, par int) *Index {
 	if par < 2 || len(r.Tuples) < 1024 {
 		par = 1
 	}
-	ix := buildIndex(r.Tuples, cols, r.slabLocked(), par, nil)
+	var hash keyHashFunc
+	if p := testIndexHash.Load(); p != nil {
+		hash = *p
+	}
+	ix := buildIndex(r.Tuples, cols, r.slabLocked(), par, hash)
 	if packed {
 		if r.indexes == nil {
 			r.indexes = make(map[uint64]*Index)

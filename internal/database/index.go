@@ -23,10 +23,22 @@ import (
 // Slab is a relation's frozen tuple storage: row i occupies
 // data[i*arity : (i+1)*arity]. Rows returned by Row are views into the
 // slab, never copies.
+//
+// The data may live in heap slices (the mutation-capable default) or alias
+// read-only pages of an mmap-ed snapshot file (mapped set; see
+// internal/snapshot and FromSlab in store.go). The distinction is
+// invisible to every read path — probes, batch kernels, and index builds
+// operate on the []Value either way — and the write paths (Append here,
+// the mutation funnel in mutate.go) copy to heap before the first write.
 type Slab struct {
-	data  []Value
-	arity int
+	data   []Value
+	arity  int
+	mapped bool // data aliases read-only mapped snapshot pages
 }
+
+// Mapped reports whether the slab's storage aliases read-only mapped
+// snapshot pages (and so must never be written through).
+func (s Slab) Mapped() bool { return s.mapped }
 
 // Row returns row i as a tuple view into the slab.
 func (s Slab) Row(i int32) Tuple {
@@ -50,6 +62,13 @@ func (s Slab) Len() int {
 func (s Slab) Append(t Tuple) (Slab, int32) {
 	if s.arity == 0 || len(t) != s.arity {
 		panic(fmt.Sprintf("database: slab append: arity %d, got tuple of length %d", s.arity, len(t)))
+	}
+	if s.mapped {
+		// Mapped pages are read-only; copy to heap before the first write.
+		// (The mapped slice's len equals its cap, so append would reallocate
+		// anyway — this makes the copy-on-write explicit and unconditional.)
+		s.data = append([]Value(nil), s.data...)
+		s.mapped = false
 	}
 	id := int32(s.Len())
 	s.data = append(s.data, t...)
@@ -125,6 +144,7 @@ func (r *Relation) CompactSlab(sl Slab, live []int32) (Slab, []int32) {
 	r.indexes = nil
 	r.indexesBig = nil
 	r.sorted = false
+	r.mapped = false // the compacted slab is a heap copy
 	r.slabPtr.Store(&ns)
 	r.mu.Unlock()
 	return ns, remap
@@ -158,6 +178,31 @@ func (t Tuple) KeyHash(cols []int) uint64 {
 type keyHashFunc func(t Tuple, cols []int) uint64
 
 func defaultKeyHash(t Tuple, cols []int) uint64 { return t.KeyHash(cols) }
+
+// testIndexHash, when non-nil, replaces the default fingerprint in every
+// subsequent IndexOn/ParIndexOn build. In-package tests inject degraded
+// hashes directly through buildIndex; this process-wide hook exists for
+// the cross-package differential suites (internal/snapshot, internal/plan)
+// that must degrade whole-engine runs they cannot reach into.
+var testIndexHash atomic.Pointer[keyHashFunc]
+
+// SetIndexHashForTesting forces every subsequent index build process-wide
+// onto the given fingerprint function and returns a restore func. A
+// degraded hash (a handful of fingerprints for the whole domain) drives
+// the exact collision-resolution paths that the 2^-64 default never
+// exercises. Answers and counted steps must be identical under any hash —
+// the differential suites inject one to prove it. Not for production use;
+// concurrent index builds observe the swap racily.
+func SetIndexHashForTesting(hash func(Tuple, []int) uint64) (restore func()) {
+	var h keyHashFunc
+	if hash != nil {
+		h = hash
+		testIndexHash.Store(&h)
+	} else {
+		testIndexHash.Store(nil)
+	}
+	return func() { testIndexHash.Store(nil) }
+}
 
 // identCols[:k] is the identity column list [0..k); shared so full-arity
 // probes need not allocate one.

@@ -76,12 +76,39 @@ func (r *Relation) mutateOne(t Tuple) {
 func (r *Relation) mutateLocked(ins, del []Tuple, sorted bool) {
 	r.indexes = nil
 	r.indexesBig = nil
-	r.slabPtr.Store(nil)
+	if r.mapped {
+		r.promoteLocked()
+	} else {
+		r.slabPtr.Store(nil)
+	}
 	r.sorted = sorted
 	r.gen.Add(1)
 	if r.logDeltas {
 		r.logDelta(ins, del)
 	}
+}
+
+// promoteLocked is the copy-on-write step for relations restored over
+// mmap-ed snapshot pages (database.FromSlab with Mapped set): the first
+// mutation — which has already restructured r.Tuples but never writes
+// through the old views — copies the current tuples into fresh heap
+// storage and repoints the views at it. The snapshot file's bytes are
+// never written; every holder of pre-mutation row ids was invalidated by
+// this same mutation, exactly as on the heap path, so the delta-log and
+// refresh machinery above sees no difference between backings.
+func (r *Relation) promoteLocked() {
+	r.mapped = false
+	a := r.Arity
+	if a == 0 {
+		r.slabPtr.Store(nil)
+		return
+	}
+	s := Slab{arity: a, data: make([]Value, len(r.Tuples)*a)}
+	for i, t := range r.Tuples {
+		copy(s.data[i*a:(i+1)*a], t)
+		r.Tuples[i] = s.Row(int32(i))
+	}
+	r.slabPtr.Store(&s)
 }
 
 // logDelta appends one record to the bounded delta log (r.mu held). The

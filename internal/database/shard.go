@@ -1,0 +1,93 @@
+package database
+
+// Hash-partitioned relation shards. Shard splits a relation into k
+// fingerprint-disjoint partitions by the same routing the sharded index
+// builds use — uint32(fp) & (k-1) over the join-key fingerprint — so a
+// shard-local index or semijoin sees exactly the keys a ParIndexOn shard
+// of the same fan-out would own. Tuples are shared views, never copies,
+// and keep their base-relation order within a shard; the snapshot layer
+// persists the partition as per-shard row-id lists over the unreordered
+// base slab, so sharding never perturbs enumeration order (counted steps
+// must stay bit-identical whether or not a database is sharded on disk).
+
+import "fmt"
+
+// ShardCount rounds k up to the power of two the routing mask needs,
+// clamped to [1, 1<<16]. Shard, the snapshot writer, and any sharded
+// daemon must agree on this normalization or tuples would route to
+// different partitions on each side.
+func ShardCount(k int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > 1<<16 {
+		k = 1 << 16
+	}
+	n := 1
+	for n < k {
+		n <<= 1
+	}
+	return n
+}
+
+// ShardRowIDs partitions the relation's rows by the fingerprint of the
+// given key columns into ShardCount(k) lists of row ids, each ascending
+// (base order preserved). The index-build fingerprint hook applies here
+// too, so degraded-hash differential runs shard consistently with the
+// indexes they probe.
+func ShardRowIDs(r *Relation, cols []int, k int) [][]int32 {
+	k = ShardCount(k)
+	mask := uint32(k - 1)
+	hash := defaultKeyHash
+	if p := testIndexHash.Load(); p != nil {
+		hash = *p
+	}
+	parts := make([][]int32, k)
+	for i, t := range r.Tuples {
+		s := uint32(hash(t, cols)) & mask
+		parts[s] = append(parts[s], int32(i))
+	}
+	return parts
+}
+
+// Shard partitions r into ShardCount(k) relations by the fingerprint of
+// the key columns. Shard i holds exactly the tuples whose key routes to
+// shard i of a k-way ParIndexOn on the same columns, as tuple views into
+// r's storage (no copying), in base order. Matching keys always land in
+// the same shard, so a semijoin or join on cols decomposes into k
+// independent shard-local ones — see SemijoinSharded.
+func Shard(r *Relation, cols []int, k int) []*Relation {
+	for _, c := range cols {
+		if c < 0 || c >= r.Arity {
+			panic(fmt.Sprintf("database: shard %s on column %d, arity %d", r.Name, c, r.Arity))
+		}
+	}
+	parts := ShardRowIDs(r, cols, k)
+	out := make([]*Relation, len(parts))
+	for s, ids := range parts {
+		sr := NewRelation(fmt.Sprintf("%s/%d", r.Name, s), r.Arity)
+		sr.Tuples = make([]Tuple, len(ids))
+		for i, id := range ids {
+			sr.Tuples[i] = r.Tuples[id]
+		}
+		out[s] = sr
+	}
+	return out
+}
+
+// SemijoinSharded computes Semijoin(r, rCols, s, sCols) shard-locally:
+// both sides are partitioned on their join columns with the same fan-out,
+// and each r-shard probes only the matching s-shard — the access pattern
+// of a sharded daemon that maps one partition per process. The output
+// concatenates shard results in shard order, a permutation of the
+// sequential Semijoin's output with identical tuple multiset.
+func SemijoinSharded(r *Relation, rCols []int, s *Relation, sCols []int, k int) *Relation {
+	rs := Shard(r, rCols, k)
+	ss := Shard(s, sCols, k)
+	out := NewRelation(r.Name, r.Arity)
+	for i := range rs {
+		part := Semijoin(rs[i], rCols, ss[i], sCols)
+		out.Tuples = append(out.Tuples, part.Tuples...)
+	}
+	return out
+}

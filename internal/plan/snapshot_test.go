@@ -1,0 +1,120 @@
+package plan_test
+
+// Out-of-core regression for the plan layer: a Prepared bound over an
+// mmap-backed snapshot restore behaves exactly like one bound over heap
+// storage — identical bind-time counted steps, and the delta-log Refresh
+// machinery keeps working after mutations promote the mapped relations to
+// heap copies (copy-on-write leaves the snapshot file untouched).
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/delay"
+	"repro/internal/oracle"
+	"repro/internal/plan"
+	"repro/internal/snapshot"
+)
+
+func TestPreparedOverMappedSnapshot(t *testing.T) {
+	q := mustCQ(t, "Q(x,y) :- A(x,y), B(y,z).")
+	db := chainDB(40)
+	path := filepath.Join(t.TempDir(), "chain.snap")
+	if err := snapshot.WriteFile(path, db, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := snapshot.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mdb := s.Database()
+
+	p, err := plan.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bind-time counted steps are backing-independent.
+	cHeap, cMap := &delay.Counter{}, &delay.Counter{}
+	if _, err := p.BindCounted(db, cHeap); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := p.BindCounted(mdb, cMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cHeap.Steps() != cMap.Steps() {
+		t.Fatalf("bind steps over mmap %d != heap %d", cMap.Steps(), cHeap.Steps())
+	}
+
+	checkAnswers := func(what string) {
+		t.Helper()
+		e, err := pr.Enumerate(nil)
+		if err != nil {
+			t.Fatalf("%s: Enumerate: %v", what, err)
+		}
+		got := delay.Collect(e)
+		want, err := oracle.Eval(mdb, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswers(got, want) {
+			t.Fatalf("%s: answers %v, oracle says %v", what, got, want)
+		}
+	}
+	checkAnswers("mapped bind")
+
+	// Mutations promote the mapped relations to heap copies; the delta log
+	// feeds Refresh exactly as it does for heap-born relations.
+	a := mdb.Relation("A")
+	if !a.Mapped() {
+		t.Fatal("relation A is not mmap-backed before mutation")
+	}
+	a.Insert(database.Tuple{1000, 1})
+	if a.Mapped() {
+		t.Fatal("relation A still claims mapped storage after an insert")
+	}
+	if !pr.Stale() {
+		t.Fatal("Prepared not stale after mutating a promoted relation")
+	}
+	if _, err := pr.Refresh(nil); err != nil {
+		t.Fatalf("first Refresh after promotion: %v", err)
+	}
+	checkAnswers("refresh after promotion")
+
+	// Steady-state single-tuple updates ride the delta path.
+	a.Insert(database.Tuple{1001, 2})
+	kind, err := pr.Refresh(nil)
+	if err != nil {
+		t.Fatalf("delta Refresh: %v", err)
+	}
+	if kind != plan.RefreshDelta {
+		t.Fatalf("second refresh kind = %v, want %v", kind, plan.RefreshDelta)
+	}
+	checkAnswers("delta refresh")
+
+	if !a.Delete(database.Tuple{1000, 1}) {
+		t.Fatal("delete of the promoted insert failed")
+	}
+	if kind, err = pr.Refresh(nil); err != nil || kind != plan.RefreshDelta {
+		t.Fatalf("delete refresh: kind %v, err %v", kind, err)
+	}
+	checkAnswers("delta refresh after delete")
+
+	// The other relation is still mapped — only mutated relations promote.
+	if !mdb.Relation("B").Mapped() {
+		t.Fatal("relation B promoted without being mutated")
+	}
+
+	// And the file still restores the original, untouched database.
+	fresh, err := snapshot.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if fresh.Database().Relation("A").Len() != db.Relation("A").Len() {
+		t.Fatal("mutations under the Prepared leaked into the snapshot file")
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package snapshot
+
+import "errors"
+
+// mapFile on platforms without mmap support: Open falls back to a heap
+// read and Snapshot.Mapped reports false.
+func mapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, errors.New("snapshot: mmap unavailable on this platform")
+}

@@ -1,0 +1,40 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and shared: every qservd worker mapping the
+// same snapshot shares one set of physical pages, and the kernel pages
+// data in on demand — a cold start touches only the TOC, checksummed
+// sections, and whatever slabs the first queries probe.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size > math.MaxInt32 && uint64(size) > uint64(maxInt) {
+		return nil, nil, fmt.Errorf("snapshot: %s: %d bytes exceed the address space", path, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: mmap %s: %w", path, err)
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}
+
+const maxInt = int(^uint(0) >> 1)

@@ -1,0 +1,28 @@
+package snapshot
+
+import (
+	"unsafe"
+
+	"repro/internal/database"
+)
+
+// hostLittleEndian reports whether the host lays out integers little-
+// endian. The payload format is little-endian; only a matching host may
+// use mapped slab sections in place, anything else decodes.
+func hostLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// castValues reinterprets a slab section's bytes as the in-memory []Value
+// layout without copying. Safe because the writer emits values as 8-byte
+// little-endian words, sections are 8-byte aligned relative to the page-
+// aligned mapping base, and the caller (Open) only reaches here on a
+// little-endian host. The resulting slice has len == cap, so any append
+// reallocates to heap rather than writing the read-only pages.
+func castValues(b []byte) []database.Value {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*database.Value)(unsafe.Pointer(&b[0])), len(b)/8)
+}
